@@ -1,0 +1,74 @@
+// Command benchrunner regenerates the paper's evaluation artifacts: every
+// table and figure of Section 5 plus the design ablations, printed as text
+// reports.
+//
+// Usage:
+//
+//	benchrunner [-scale smoke|default|full] [-exp id[,id...]] [-list]
+//
+// Experiment ids follow DESIGN.md's per-experiment index (fig1..fig5,
+// tab1..tab7, abl1..abl4). Without -exp, every experiment runs in paper
+// order. The QFE_SCALE environment variable is an alternative to -scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"qfe/internal/bench"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "", `scale profile: "smoke", "default", or "full" (default: $QFE_SCALE or "default")`)
+	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	listFlag := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *scaleFlag != "" {
+		os.Setenv("QFE_SCALE", *scaleFlag)
+	}
+	scale := bench.CurrentScale()
+	fmt.Printf("# scale profile: %s\n\n", scale.Name)
+	env := bench.NewEnv(scale)
+
+	var selected []bench.Experiment
+	if *expFlag == "" {
+		selected = bench.Experiments()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			exp, ok := bench.ExperimentByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, exp)
+		}
+	}
+
+	failed := 0
+	for _, exp := range selected {
+		start := time.Now()
+		rep, err := exp.Run(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s failed: %v\n", exp.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s took %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,156 @@
+// Command cardest is the interactive face of the reproduction: it builds
+// the synthetic forest dataset, trains a (QFT × model) cardinality
+// estimator, and then estimates queries — either the ones supplied on the
+// command line or a held-out evaluation set.
+//
+// Usage:
+//
+//	cardest [-qft conjunctive] [-model GB] [-train 2000] [-rows 20000]
+//	        [-entries 32] [-query "SELECT count(*) FROM forest WHERE ..."]
+//
+// Without -query, the tool evaluates a held-out test workload and prints
+// the paper's q-error summary (mean, median, 99th percentile, max). The
+// workload style follows the QFT: mixed queries (AND + OR) for "complex",
+// conjunctive queries for everything else.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qfe/internal/core"
+	"qfe/internal/dataset"
+	"qfe/internal/estimator"
+	"qfe/internal/exec"
+	"qfe/internal/metrics"
+	"qfe/internal/ml/gb"
+	"qfe/internal/ml/nn"
+	"qfe/internal/sqlparse"
+	"qfe/internal/table"
+	"qfe/internal/workload"
+)
+
+func main() {
+	qft := flag.String("qft", "conjunctive", "featurization: simple, range, conjunctive, or complex")
+	model := flag.String("model", "GB", "regressor: GB or NN")
+	trainN := flag.Int("train", 2_000, "number of training queries")
+	rows := flag.Int("rows", 20_000, "forest table rows")
+	entries := flag.Int("entries", 32, "per-attribute feature entries (n)")
+	query := flag.String("query", "", "a single SQL query to estimate (optional)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	save := flag.String("save", "", "write the trained estimator to this JSON file")
+	load := flag.String("load", "", "load a trained estimator from this JSON file instead of training")
+	flag.Parse()
+
+	if err := run(*qft, *model, *trainN, *rows, *entries, *query, *seed, *save, *load); err != nil {
+		fmt.Fprintln(os.Stderr, "cardest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(qft, model string, trainN, rows, entries int, query string, seed int64, savePath, loadPath string) error {
+	fmt.Printf("building forest dataset (%d rows)...\n", rows)
+	forest, err := dataset.Forest(dataset.ForestConfig{Rows: rows, QuantAttrs: 12, BinaryAttrs: 4, Seed: seed})
+	if err != nil {
+		return err
+	}
+	db := table.NewDB()
+	db.MustAdd(forest)
+
+	fmt.Printf("generating and labeling %d training queries...\n", trainN+500)
+	var set workload.Set
+	if qft == "complex" {
+		set, err = workload.Mixed(forest, workload.MixedConfig{
+			ConjConfig:  workload.ConjConfig{Count: trainN + 500, MaxAttrs: 8, MaxNotEquals: 5, Seed: seed},
+			MaxBranches: 3,
+		})
+	} else {
+		set, err = workload.Conjunctive(forest, workload.ConjConfig{
+			Count: trainN + 500, MaxAttrs: 8, MaxNotEquals: 5, Seed: seed,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	train, test := set.Split(trainN)
+
+	var loc *estimator.Local
+	if loadPath != "" {
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		loc, err = estimator.LoadLocal(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s from %s (%d models)\n", loc.Name(), loadPath, loc.NumModels())
+	} else {
+		factory, err := estimator.FactoryByName(model, gb.DefaultConfig(), nn.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		loc, err = estimator.NewLocal(db, estimator.LocalConfig{
+			QFT:          qft,
+			Opts:         core.Options{MaxEntriesPerAttr: entries, AttrSel: true},
+			NewRegressor: factory,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("training %s + %s...\n", model, qft)
+		start := time.Now()
+		if err := loc.Train(train); err != nil {
+			return err
+		}
+		fmt.Printf("trained in %v (model size %.1f kB)\n", time.Since(start).Round(time.Millisecond),
+			float64(loc.MemoryBytes())/1024)
+	}
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			return err
+		}
+		if err := loc.SaveJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved estimator to %s\n", savePath)
+	}
+
+	if query != "" {
+		q, err := sqlparse.Parse(query)
+		if err != nil {
+			return err
+		}
+		if err := exec.Bind(q, db); err != nil {
+			return err
+		}
+		est, err := loc.Estimate(q)
+		if err != nil {
+			return err
+		}
+		truth, err := exec.Count(db, q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("query:     %s\n", q)
+		fmt.Printf("estimate:  %.0f\n", est)
+		fmt.Printf("truth:     %d\n", truth)
+		fmt.Printf("q-error:   %.2f\n", metrics.QError(float64(truth), est))
+		return nil
+	}
+
+	sum, err := estimator.Summarize(loc, test)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("held-out evaluation over %d queries: %v\n", len(test), sum)
+	return nil
+}

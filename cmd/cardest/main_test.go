@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunWithSingleQuery(t *testing.T) {
+	err := run("conjunctive", "GB", 300, 2_000, 16,
+		"SELECT count(*) FROM forest WHERE A1 >= 2500 AND A1 <= 3200", 1, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHeldOutEvaluation(t *testing.T) {
+	if err := run("complex", "GB", 300, 2_000, 16, "", 2, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("nope", "GB", 100, 1_000, 16, "", 1, "", ""); err == nil {
+		t.Error("unknown QFT accepted")
+	}
+	if err := run("conjunctive", "SVM", 100, 1_000, 16, "", 1, "", ""); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run("conjunctive", "GB", 100, 1_000, 16, "not sql", 1, "", ""); err == nil {
+		t.Error("unparseable query accepted")
+	}
+}
+
+func TestRunSaveAndLoad(t *testing.T) {
+	path := t.TempDir() + "/model.json"
+	if err := run("conjunctive", "GB", 200, 1_500, 16, "", 3, path, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("conjunctive", "GB", 200, 1_500, 16,
+		"SELECT count(*) FROM forest WHERE A1 >= 2500", 3, "", path); err != nil {
+		t.Fatal(err)
+	}
+}

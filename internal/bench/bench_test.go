@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment harness runs end-to-end at smoke scale: every paper
+// artifact must regenerate without error and produce output rows. Shape
+// assertions on the scientific conclusions live in shape_test.go.
+
+func smokeEnv() *Env { return NewEnv(SmokeScale()) }
+
+func TestAllExperimentsRunAtSmokeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness skipped in -short mode")
+	}
+	env := smokeEnv()
+	for _, exp := range Experiments() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			rep, err := exp.Run(env)
+			if err != nil {
+				t.Fatalf("%s failed: %v", exp.ID, err)
+			}
+			if rep.ID != exp.ID {
+				t.Errorf("report ID %q, want %q", rep.ID, exp.ID)
+			}
+			if len(rep.Lines) == 0 {
+				t.Errorf("%s produced no output", exp.ID)
+			}
+			out := rep.String()
+			if !strings.Contains(out, exp.ID) {
+				t.Errorf("%s render lacks header", exp.ID)
+			}
+			t.Logf("\n%s", out)
+		})
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if e.Run == nil {
+			t.Errorf("experiment %s has no Run", e.ID)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// Every table and figure of the paper must be covered.
+	for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing from registry", want)
+		}
+	}
+	if _, ok := ExperimentByID("fig1"); !ok {
+		t.Error("ExperimentByID(fig1) not found")
+	}
+	if _, ok := ExperimentByID("nope"); ok {
+		t.Error("ExperimentByID(nope) found")
+	}
+}
+
+func TestScaleProfiles(t *testing.T) {
+	for _, s := range []Scale{SmokeScale(), DefaultScale(), FullScale()} {
+		if s.ForestRows <= 0 || s.ConjCount <= s.TestCount || s.IMDBTitles <= 0 {
+			t.Errorf("scale %s has degenerate sizes: %+v", s.Name, s)
+		}
+		if len(s.VectorLengths) == 0 || len(s.ConvergenceSizes) == 0 {
+			t.Errorf("scale %s lacks sweep points", s.Name)
+		}
+	}
+	t.Setenv("QFE_SCALE", "smoke")
+	if CurrentScale().Name != "smoke" {
+		t.Error("QFE_SCALE=smoke not honored")
+	}
+	t.Setenv("QFE_SCALE", "full")
+	if CurrentScale().Name != "full" {
+		t.Error("QFE_SCALE=full not honored")
+	}
+	t.Setenv("QFE_SCALE", "")
+	if CurrentScale().Name != "default" {
+		t.Error("default scale not selected")
+	}
+}
+
+func TestEnvCaching(t *testing.T) {
+	env := smokeEnv()
+	a, err := env.Forest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Forest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Forest not cached")
+	}
+	tr1, te1, err := env.ConjWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, te2, err := env.ConjWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr1) != len(tr2) || len(te1) != len(te2) {
+		t.Error("ConjWorkload split unstable")
+	}
+	if len(te1) != env.Scale.TestCount {
+		t.Errorf("test split %d, want %d", len(te1), env.Scale.TestCount)
+	}
+}

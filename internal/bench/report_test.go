@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"qfe/internal/metrics"
+)
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "x", Title: "a title"}
+	r.Printf("line %d", 1)
+	r.Lines = append(r.Lines, summaryRow("label", metrics.Summary{Mean: 1.5, Median: 1.2, P99: 9, Max: 10}))
+	out := r.String()
+	if !strings.Contains(out, "=== x — a title ===") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "line 1") || !strings.Contains(out, "label") {
+		t.Errorf("missing lines: %q", out)
+	}
+}
+
+func TestSummaryRowAlignment(t *testing.T) {
+	row := summaryRow("m", metrics.Summary{Mean: 3.14159, Median: 1, P99: 100, Max: 1000})
+	for _, want := range []string{"mean=", "median=", "p99=", "max=", "3.14"} {
+		if !strings.Contains(row, want) {
+			t.Errorf("summaryRow %q lacks %q", row, want)
+		}
+	}
+}
+
+func TestBoxplotRowAlignment(t *testing.T) {
+	row := boxplotRow("m", metrics.BoxplotStats{P01: 1, P25: 2, Median: 3, P75: 4, P99: 5})
+	for _, want := range []string{"p01=", "p25=", "med=", "p75=", "p99="} {
+		if !strings.Contains(row, want) {
+			t.Errorf("boxplotRow %q lacks %q", row, want)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	got := sortedKeys(m)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("sortedKeys = %v", got)
+	}
+	if len(sortedKeys(map[int]int{})) != 0 {
+		t.Error("empty map should give empty keys")
+	}
+}

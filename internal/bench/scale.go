@@ -1,0 +1,145 @@
+// Package bench is the experiment harness: one entry per table and figure
+// of the paper's evaluation (Section 5), each regenerating the artifact's
+// rows or series over this reproduction's synthetic substrates. DESIGN.md
+// maps every experiment id (fig1..fig5, tab1..tab7, plus the ablations) to
+// the modules involved; EXPERIMENTS.md records paper-vs-measured shapes.
+//
+// Experiments run at a Scale profile selected by the QFE_SCALE environment
+// variable: "smoke" (seconds, used by the test suite), "default" (minutes,
+// the benchmark default), or "full" (approaching paper sizes; hours).
+package bench
+
+import (
+	"os"
+)
+
+// Scale bundles every size knob of the harness so the whole evaluation can
+// be shrunk or grown coherently.
+type Scale struct {
+	Name string
+
+	// Forest dataset (the covertype stand-in).
+	ForestRows   int
+	ForestQuant  int
+	ForestBinary int
+
+	// Forest workloads.
+	ForestMaxAttrs int // k upper bound for query generation
+	ConjCount      int // conjunctive workload size (train+test)
+	MixedCount     int // mixed workload size (train+test)
+	TestCount      int // test split size for both forest workloads
+
+	// IMDb dataset and join workloads.
+	IMDBTitles    int
+	JoinPerSub    int // stratified training queries per sub-schema
+	JOBLightCount int // test suite size (the paper uses 70)
+
+	// Model sizes.
+	Entries    int // per-attribute feature entries (paper default 64)
+	GBTrees    int
+	NNEpochs   int
+	NNHidden   []int
+	MSCNEpochs int
+
+	// Table 5 sweep and Table 6 training-size ladder.
+	VectorLengths    []int
+	ConvergenceSizes []int
+}
+
+// CurrentScale reads QFE_SCALE ("smoke", "default", "full"; default
+// "default") and returns the matching profile.
+func CurrentScale() Scale {
+	switch os.Getenv("QFE_SCALE") {
+	case "smoke":
+		return SmokeScale()
+	case "full":
+		return FullScale()
+	default:
+		return DefaultScale()
+	}
+}
+
+// SmokeScale finishes in seconds; the package's own tests use it.
+func SmokeScale() Scale {
+	return Scale{
+		Name:         "smoke",
+		ForestRows:   3000,
+		ForestQuant:  6,
+		ForestBinary: 2,
+
+		ForestMaxAttrs: 5,
+		ConjCount:      700,
+		MixedCount:     550,
+		TestCount:      150,
+
+		IMDBTitles:    500,
+		JoinPerSub:    12,
+		JOBLightCount: 15,
+
+		Entries:    16,
+		GBTrees:    40,
+		NNEpochs:   6,
+		NNHidden:   []int{24, 12},
+		MSCNEpochs: 4,
+
+		VectorLengths:    []int{8, 32},
+		ConvergenceSizes: []int{150, 300, 500},
+	}
+}
+
+// DefaultScale targets minutes for the full harness on a laptop.
+func DefaultScale() Scale {
+	return Scale{
+		Name:         "default",
+		ForestRows:   20_000,
+		ForestQuant:  12,
+		ForestBinary: 4,
+
+		ForestMaxAttrs: 8,
+		ConjCount:      5_000,
+		MixedCount:     6_000,
+		TestCount:      800,
+
+		IMDBTitles:    5_000,
+		JoinPerSub:    150,
+		JOBLightCount: 70,
+
+		Entries:    32,
+		GBTrees:    120,
+		NNEpochs:   16,
+		NNHidden:   []int{32, 16},
+		MSCNEpochs: 10,
+
+		VectorLengths:    []int{8, 16, 32, 64, 128},
+		ConvergenceSizes: []int{500, 1500, 3000, 5200},
+	}
+}
+
+// FullScale approaches the paper's workload sizes (100k training queries);
+// expect hours of CPU time.
+func FullScale() Scale {
+	return Scale{
+		Name:         "full",
+		ForestRows:   200_000,
+		ForestQuant:  10,
+		ForestBinary: 45,
+
+		ForestMaxAttrs: 16,
+		ConjCount:      60_000,
+		MixedCount:     50_000,
+		TestCount:      10_000,
+
+		IMDBTitles:    50_000,
+		JoinPerSub:    500,
+		JOBLightCount: 70,
+
+		Entries:    64,
+		GBTrees:    200,
+		NNEpochs:   40,
+		NNHidden:   []int{128, 64},
+		MSCNEpochs: 40,
+
+		VectorLengths:    []int{8, 16, 32, 64, 256},
+		ConvergenceSizes: []int{5_000, 10_000, 20_000, 30_000, 50_000},
+	}
+}

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"testing"
+
+	"qfe/internal/core"
+	"qfe/internal/estimator"
+	"qfe/internal/metrics"
+	"qfe/internal/workload"
+)
+
+// Shape tests: the paper's central qualitative conclusions, asserted at
+// smoke scale. Absolute q-errors differ from the paper (synthetic data,
+// tiny training sets); the *orderings* below are what the reproduction
+// promises (see EXPERIMENTS.md).
+
+// sharedShapeEnv caches the environment across shape tests.
+var shapeEnv = NewEnv(SmokeScale())
+
+func trainSummary(t *testing.T, qft, model string, train, test workload.Set) metrics.Summary {
+	t.Helper()
+	loc, err := shapeEnv.trainLocal(qft, model, shapeEnv.coreOptions(), train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := estimator.Summarize(loc, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+// TestShapeConjunctiveBeatsSimpleUnderGB: Figure 1's core finding — with
+// multiple predicates per attribute, Universal Conjunction Encoding clearly
+// outperforms Singular Predicate Encoding under the same model.
+func TestShapeConjunctiveBeatsSimpleUnderGB(t *testing.T) {
+	train, test, err := shapeEnv.ConjWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conj := trainSummary(t, "conjunctive", "GB", train, test)
+	simple := trainSummary(t, "simple", "GB", train, test)
+	t.Logf("GB: conjunctive %v | simple %v", conj, simple)
+	if conj.Median >= simple.Median {
+		t.Errorf("conjunctive median %v should beat simple median %v", conj.Median, simple.Median)
+	}
+	if conj.Mean >= simple.Mean {
+		t.Errorf("conjunctive mean %v should beat simple mean %v", conj.Mean, simple.Mean)
+	}
+}
+
+// TestShapeGBBeatsNN: Section 5.1/5.6 — GB errors are consistently below
+// NN errors at equal training data (NN needs far more queries to converge).
+func TestShapeGBBeatsNN(t *testing.T) {
+	train, test, err := shapeEnv.ConjWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbSum := trainSummary(t, "conjunctive", "GB", train, test)
+	nnSum := trainSummary(t, "conjunctive", "NN", train, test)
+	t.Logf("conjunctive: GB %v | NN %v", gbSum, nnSum)
+	if gbSum.Mean >= nnSum.Mean {
+		t.Errorf("GB mean %v should beat NN mean %v", gbSum.Mean, nnSum.Mean)
+	}
+}
+
+// TestShapeComplexHandlesMixedQueries: Limited Disjunction Encoding keeps
+// mixed-query errors in the same band as Universal Conjunction Encoding on
+// conjunctive queries ("performs about as well", Section 5.1).
+func TestShapeComplexHandlesMixedQueries(t *testing.T) {
+	conjTrain, conjTest, err := shapeEnv.ConjWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixTrain, mixTest, err := shapeEnv.MixedWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conj := trainSummary(t, "conjunctive", "GB", conjTrain, conjTest)
+	comp := trainSummary(t, "complex", "GB", mixTrain, mixTest)
+	t.Logf("GB: conjunctive-on-conj %v | complex-on-mixed %v", conj, comp)
+	if comp.Median > 3*conj.Median {
+		t.Errorf("complex median %v drifted far beyond conjunctive median %v", comp.Median, conj.Median)
+	}
+}
+
+// TestShapeSamplingHasTailErrors: Figure 4 — the 0.1% sampling baseline
+// works in easy cases but has catastrophic tail errors on selective
+// queries.
+func TestShapeSamplingHasTailErrors(t *testing.T) {
+	_, test, err := shapeEnv.ConjWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := shapeEnv.ForestDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qerrs, err := estimator.Evaluate(estimator.NewSampling(db, 0.001, 1), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := metrics.Summarize(qerrs)
+	t.Logf("sampling: %v", sum)
+	if sum.P99 < 50 {
+		t.Errorf("sampling p99 %v suspiciously good; the tail-error phenomenon is missing", sum.P99)
+	}
+}
+
+// TestShapeIndependenceDegradesWithAttributes: Figures 2/4 — the
+// independence baseline's error grows with the number of attributes, since
+// every additional correlated attribute compounds the assumption's error.
+func TestShapeIndependenceDegradesWithAttributes(t *testing.T) {
+	_, test, err := shapeEnv.ConjWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := shapeEnv.ForestDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind := &estimator.Independence{DB: db}
+	grouped := test.GroupByAttrs()
+	lo, hi := grouped[1], grouped[shapeEnv.Scale.ForestMaxAttrs]
+	if len(lo) < 5 || len(hi) < 5 {
+		t.Skip("not enough queries per group at smoke scale")
+	}
+	loErr, err := estimator.Evaluate(ind, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiErr, err := estimator.Evaluate(ind, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loMed, hiMed := metrics.Summarize(loErr).Median, metrics.Summarize(hiErr).Median
+	t.Logf("independence median: 1 attr %v | %d attrs %v", loMed, shapeEnv.Scale.ForestMaxAttrs, hiMed)
+	if hiMed <= loMed {
+		t.Errorf("independence should degrade with attributes: 1-attr %v vs max-attr %v", loMed, hiMed)
+	}
+}
+
+// TestShapeDriftHurtsNNSimpleMost: Figure 5 — under query drift the NN with
+// the lossy simple encoding degrades far more than GB.
+func TestShapeDriftHurtsNNSimpleMost(t *testing.T) {
+	all, _, err := shapeEnv.ConjWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := all.SplitByAttrs(2)
+	if len(train) < 50 || len(test) < 50 {
+		t.Skip("drift split too small at smoke scale")
+	}
+	gbSum := trainSummary(t, "conjunctive", "GB", train, test)
+	nnSum := trainSummary(t, "simple", "NN", train, test)
+	t.Logf("drift: GB+conj %v | NN+simple %v", gbSum, nnSum)
+	if gbSum.Median >= nnSum.Median {
+		t.Errorf("GB+conj should survive drift better: %v vs %v", gbSum.Median, nnSum.Median)
+	}
+}
+
+// TestShapeLinearRegressionTrailsGB: the Section 2.2 exclusion — the
+// simpler linear model is worse by a significant factor.
+func TestShapeLinearRegressionTrailsGB(t *testing.T) {
+	train, test, err := shapeEnv.ConjWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbSum := trainSummary(t, "conjunctive", "GB", train, test)
+	lrSum := trainSummary(t, "conjunctive", "LR", train, test)
+	t.Logf("GB %v | LR %v", gbSum, lrSum)
+	// At smoke scale the gap is a margin, not yet "a significant factor";
+	// it widens with training data (GB keeps improving, the linear model
+	// plateaus on interactions) — ext1 at default scale shows the paper's
+	// gap. Here we assert the ordering only.
+	if lrSum.Mean <= gbSum.Mean {
+		t.Errorf("LR mean %v should trail GB mean %v", lrSum.Mean, gbSum.Mean)
+	}
+}
+
+// TestShapeMSCNConjImprovesOnOriginal: Table 2 — replacing MSCN's original
+// per-predicate featurization with the per-attribute conjunctive encoding
+// must not hurt, and generally helps, on multi-predicate workloads.
+func TestShapeMSCNConjImprovesOnOriginal(t *testing.T) {
+	train, test, err := shapeEnv.ConjWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := shapeEnv.ForestDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := shapeEnv.ForestSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(mode core.MSCNMode) metrics.Summary {
+		est, err := estimator.NewMSCN(db, schema, mode, shapeEnv.coreOptions(), shapeEnv.mscnConfig(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := est.Train(train); err != nil {
+			t.Fatal(err)
+		}
+		sum, err := estimator.Summarize(est, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	orig := run(core.MSCNOriginal)
+	conj := run(core.MSCNPerAttribute)
+	t.Logf("MSCN original %v | MSCN+conj %v", orig, conj)
+	if conj.Median > 1.5*orig.Median {
+		t.Errorf("MSCN+conj median %v should not be far worse than original %v", conj.Median, orig.Median)
+	}
+}
+
+// TestShapeFeaturizationCostOrdering: Table 7 — featurization cost grows
+// with QFT complexity: simple < conjunctive, conjunctive < complex-level
+// budgets, all far below 1ms.
+func TestShapeFeaturizationCostOrdering(t *testing.T) {
+	env := shapeEnv
+	rep, err := Table7(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	// The detailed ordering assertion lives in the report itself; here we
+	// only require the report to exist with the four QFT rows.
+	if len(rep.Lines) < 4 {
+		t.Fatalf("Table 7 report too short: %v", rep.Lines)
+	}
+}

@@ -1,0 +1,204 @@
+// Package catalog describes database schemas: which tables exist, how they
+// are connected by key/foreign-key relationships, and which sub-schemas
+// (connected table subsets) exist.
+//
+// Sub-schemas are the unit of the paper's local-model approach
+// (Section 2.1.2): one estimator is built per base table or join result. The
+// catalog enumerates the connected sub-schemas of the key/foreign-key graph
+// and provides canonical keys so that queries can be routed to the local
+// model responsible for their table set.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ForeignKey is a many-to-one key/foreign-key edge: each row of FromTable
+// references at most one row of ToTable via FromCol = ToCol.
+type ForeignKey struct {
+	FromTable, FromCol string
+	ToTable, ToCol     string
+}
+
+// String renders the edge as "from.col -> to.col".
+func (fk ForeignKey) String() string {
+	return fmt.Sprintf("%s.%s -> %s.%s", fk.FromTable, fk.FromCol, fk.ToTable, fk.ToCol)
+}
+
+// Schema is a set of tables plus the key/foreign-key edges connecting them.
+type Schema struct {
+	Tables []string
+	FKs    []ForeignKey
+}
+
+// HasTable reports whether name is one of the schema's tables.
+func (s *Schema) HasTable(name string) bool {
+	for _, t := range s.Tables {
+		if t == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Edge returns the foreign-key edge between tables a and b in either
+// direction, and whether one exists.
+func (s *Schema) Edge(a, b string) (ForeignKey, bool) {
+	for _, fk := range s.FKs {
+		if (fk.FromTable == a && fk.ToTable == b) || (fk.FromTable == b && fk.ToTable == a) {
+			return fk, true
+		}
+	}
+	return ForeignKey{}, false
+}
+
+// SubSchemaKey returns the canonical identifier for a table subset: the
+// sorted table names joined by "+". Local models are registered under this
+// key.
+func SubSchemaKey(tables []string) string {
+	sorted := append([]string(nil), tables...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, "+")
+}
+
+// ConnectedSubSchemas enumerates all connected table subsets of the schema
+// with between 1 and maxTables tables, in deterministic order (by size, then
+// by key). For a schema of n tables there are at most 2^n - 1 subsets; the
+// paper notes that real deployments prune this set via System-R style
+// assumptions, which callers can apply on top.
+func (s *Schema) ConnectedSubSchemas(maxTables int) [][]string {
+	if maxTables <= 0 || maxTables > len(s.Tables) {
+		maxTables = len(s.Tables)
+	}
+	n := len(s.Tables)
+	index := make(map[string]int, n)
+	for i, t := range s.Tables {
+		index[t] = i
+	}
+	adj := make([][]int, n)
+	for _, fk := range s.FKs {
+		a, aok := index[fk.FromTable]
+		b, bok := index[fk.ToTable]
+		if aok && bok {
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+	}
+
+	var out [][]string
+	for mask := 1; mask < (1 << n); mask++ {
+		size := 0
+		for m := mask; m != 0; m &= m - 1 {
+			size++
+		}
+		if size > maxTables {
+			continue
+		}
+		if !connected(mask, adj, n) {
+			continue
+		}
+		var subset []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				subset = append(subset, s.Tables[i])
+			}
+		}
+		out = append(out, subset)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return SubSchemaKey(out[i]) < SubSchemaKey(out[j])
+	})
+	return out
+}
+
+// connected reports whether the tables selected by mask form a connected
+// subgraph of the foreign-key graph.
+func connected(mask int, adj [][]int, n int) bool {
+	start := -1
+	for i := 0; i < n; i++ {
+		if mask&(1<<i) != 0 {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return false
+	}
+	seen := 1 << start
+	stack := []int{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if mask&(1<<w) != 0 && seen&(1<<w) == 0 {
+				seen |= 1 << w
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen == mask
+}
+
+// JoinEdges returns the foreign-key edges of the schema restricted to the
+// given table subset. It returns an error when the subset is not connected
+// by those edges (i.e. the tables cannot be joined along key/foreign-key
+// relationships), mirroring the paper's assumption in Section 2.1.2.
+func (s *Schema) JoinEdges(tables []string) ([]ForeignKey, error) {
+	in := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		if !s.HasTable(t) {
+			return nil, fmt.Errorf("catalog: unknown table %q", t)
+		}
+		in[t] = true
+	}
+	var edges []ForeignKey
+	for _, fk := range s.FKs {
+		if in[fk.FromTable] && in[fk.ToTable] {
+			edges = append(edges, fk)
+		}
+	}
+	// Connectivity check via union-find over the subset.
+	parent := make(map[string]string, len(tables))
+	for _, t := range tables {
+		parent[t] = t
+	}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, e := range edges {
+		parent[find(e.FromTable)] = find(e.ToTable)
+	}
+	root := find(tables[0])
+	for _, t := range tables[1:] {
+		if find(t) != root {
+			return nil, fmt.Errorf("catalog: tables %v are not connected by key/foreign-key edges", tables)
+		}
+	}
+	return edges, nil
+}
+
+// TableBitvector encodes the table subset as the binary vector described in
+// Section 2.1.2 for global models: entry i is 1 when the schema's i-th table
+// participates in the query. The result has one entry per schema table.
+func (s *Schema) TableBitvector(tables []string) []float64 {
+	in := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		in[t] = true
+	}
+	vec := make([]float64, len(s.Tables))
+	for i, t := range s.Tables {
+		if in[t] {
+			vec[i] = 1
+		}
+	}
+	return vec
+}

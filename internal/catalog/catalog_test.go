@@ -1,0 +1,110 @@
+package catalog
+
+import (
+	"testing"
+)
+
+func chainSchema() *Schema {
+	// a -> b -> c: a chain, plus isolated d.
+	return &Schema{
+		Tables: []string{"a", "b", "c", "d"},
+		FKs: []ForeignKey{
+			{FromTable: "a", FromCol: "b_id", ToTable: "b", ToCol: "id"},
+			{FromTable: "b", FromCol: "c_id", ToTable: "c", ToCol: "id"},
+		},
+	}
+}
+
+func TestConnectedSubSchemasChain(t *testing.T) {
+	s := chainSchema()
+	subs := s.ConnectedSubSchemas(0)
+	// Connected subsets: {a},{b},{c},{d},{a,b},{b,c},{a,b,c} = 7.
+	if len(subs) != 7 {
+		t.Fatalf("got %d sub-schemas, want 7: %v", len(subs), subs)
+	}
+	// {a, c} must not appear (disconnected without b).
+	for _, sub := range subs {
+		if SubSchemaKey(sub) == "a+c" {
+			t.Error("disconnected subset {a,c} enumerated")
+		}
+	}
+}
+
+func TestConnectedSubSchemasMaxTables(t *testing.T) {
+	s := chainSchema()
+	subs := s.ConnectedSubSchemas(1)
+	if len(subs) != 4 {
+		t.Fatalf("maxTables=1: got %d, want 4 singles", len(subs))
+	}
+	subs = s.ConnectedSubSchemas(2)
+	if len(subs) != 6 {
+		t.Fatalf("maxTables=2: got %d, want 6", len(subs))
+	}
+}
+
+func TestSubSchemaKeyCanonical(t *testing.T) {
+	if SubSchemaKey([]string{"b", "a"}) != "a+b" {
+		t.Error("key not sorted")
+	}
+	if SubSchemaKey([]string{"x"}) != "x" {
+		t.Error("single key wrong")
+	}
+}
+
+func TestJoinEdges(t *testing.T) {
+	s := chainSchema()
+	edges, err := s.JoinEdges([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 2 {
+		t.Fatalf("got %d edges, want 2", len(edges))
+	}
+	if _, err := s.JoinEdges([]string{"a", "c"}); err == nil {
+		t.Error("disconnected pair accepted")
+	}
+	if _, err := s.JoinEdges([]string{"a", "nope"}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := s.JoinEdges([]string{"a"}); err != nil {
+		t.Errorf("singleton should be trivially connected: %v", err)
+	}
+}
+
+func TestEdgeLookup(t *testing.T) {
+	s := chainSchema()
+	if _, ok := s.Edge("a", "b"); !ok {
+		t.Error("edge a-b missing")
+	}
+	if _, ok := s.Edge("b", "a"); !ok {
+		t.Error("edge lookup must be symmetric")
+	}
+	if _, ok := s.Edge("a", "c"); ok {
+		t.Error("phantom edge a-c")
+	}
+}
+
+func TestTableBitvector(t *testing.T) {
+	s := chainSchema()
+	v := s.TableBitvector([]string{"a", "c"})
+	want := []float64{1, 0, 1, 0}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("bitvector = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestHasTable(t *testing.T) {
+	s := chainSchema()
+	if !s.HasTable("a") || s.HasTable("zz") {
+		t.Error("HasTable misbehaves")
+	}
+}
+
+func TestForeignKeyString(t *testing.T) {
+	fk := ForeignKey{FromTable: "x", FromCol: "y_id", ToTable: "y", ToCol: "id"}
+	if fk.String() != "x.y_id -> y.id" {
+		t.Errorf("String = %q", fk.String())
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"qfe/internal/sqlparse"
+)
+
+// Complex is Limited Disjunction Encoding (Section 3.3, Algorithm 2) — to
+// the paper's knowledge the first QFT designed for queries containing both
+// conjunctions and disjunctions. It supports the mixed-query class of
+// Definition 3.3: a conjunction of per-attribute compound predicates, where
+// each compound predicate is an arbitrary AND/OR combination of simple
+// predicates over a single attribute.
+//
+// Each compound predicate is normalized into a disjunction of conjunctions
+// (DNF); every conjunction is featurized with Universal Conjunction
+// Encoding's per-attribute routine (Algorithm 1), and the per-conjunction
+// vectors are merged by entry-wise max — additional disjuncts can only make
+// a query less selective. Since the per-conjunction vectors converge to
+// lossless featurizations (Lemma 3.2) and the max-merge mirrors OR
+// semantics, Limited Disjunction Encoding converges to a lossless
+// featurization of mixed queries.
+//
+// On purely conjunctive input the encoding degenerates to Universal
+// Conjunction Encoding and produces the identical vector (the reason
+// Table 1 omits the "complex" rows for JOB-light).
+type Complex struct {
+	meta *TableMeta
+	opts Options
+}
+
+// NewComplex returns Limited Disjunction Encoding over meta.
+func NewComplex(meta *TableMeta, opts Options) *Complex {
+	return &Complex{meta: meta, opts: opts}
+}
+
+// Name implements Featurizer.
+func (c *Complex) Name() string { return "complex" }
+
+// Dim implements Featurizer; the layout matches Universal Conjunction
+// Encoding exactly.
+func (c *Complex) Dim() int { return partitionedDim(c.meta, c.opts) }
+
+// Featurize implements Featurizer (Algorithm 2). expr must be a mixed query
+// per Definition 3.3; anything wider (a disjunction spanning attributes)
+// returns an error.
+func (c *Complex) Featurize(expr sqlparse.Expr) ([]float64, error) {
+	compounds, err := sqlparse.CompoundPredicates(expr)
+	if err != nil {
+		return nil, fmt.Errorf("core/complex: %w", err)
+	}
+	byAttr := make(map[int]sqlparse.Expr, len(compounds))
+	for _, cp := range compounds {
+		ai := c.meta.AttrIndex(cp.Attr)
+		if ai < 0 {
+			return nil, fmt.Errorf("core/complex: unknown attribute %q", cp.Attr)
+		}
+		byAttr[ai] = cp.Expr
+	}
+
+	vec := make([]float64, 0, c.Dim())
+	for ai, a := range c.meta.Attrs {
+		cpExpr, has := byAttr[ai]
+		if !has {
+			// No compound predicate on this attribute: the all-one vector,
+			// full selectivity.
+			av := make([]float64, a.NEntries)
+			for i := range av {
+				av[i] = 1
+			}
+			vec = append(vec, av...)
+			if c.opts.AttrSel {
+				vec = append(vec, 1)
+			}
+			continue
+		}
+		av, sel, err := FeaturizeAttrCompound(a, cpExpr)
+		if err != nil {
+			return nil, err
+		}
+		vec = append(vec, av...)
+		if c.opts.AttrSel {
+			vec = append(vec, sel)
+		}
+	}
+	return vec, nil
+}
+
+// FeaturizeAttrCompound runs Algorithm 2 for one attribute: the compound
+// predicate expr (all of whose simple predicates must reference attribute a)
+// is converted to DNF, each disjunct is featurized with Algorithm 1, and the
+// per-disjunct vectors are merged entry-wise by max.
+//
+// The merged selectivity estimate is the sum of the per-disjunct estimates
+// clamped to 1 — an upper bound that is exact when the disjuncts cover
+// disjoint value ranges, as they do in the paper's mixed workload.
+func FeaturizeAttrCompound(a AttrMeta, expr sqlparse.Expr) ([]float64, float64, error) {
+	dnf, err := sqlparse.ToDNF(expr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core/complex: attribute %q: %w", a.Name, err)
+	}
+	merged := make([]float64, a.NEntries) // all-zero (Algorithm 2, line 3)
+	var mergedSel float64
+	for _, conj := range dnf {
+		for _, p := range conj {
+			if got := p.Attr; got != a.Name && !qualifiedMatch(got, a.Name) {
+				return nil, 0, fmt.Errorf("core/complex: compound predicate mixes attributes %q and %q", a.Name, got)
+			}
+		}
+		f, sel, err := FeaturizeAttrConjunction(a, conj)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i, v := range f {
+			if v > merged[i] {
+				merged[i] = v
+			}
+		}
+		mergedSel += sel
+	}
+	if mergedSel > 1 {
+		mergedSel = 1
+	}
+	// With frequency weights attached, the merged vector itself gives a
+	// sharper disjunction estimate than the clamped per-branch sum.
+	if a.Weights != nil {
+		mergedSel = weightedSel(a.Weights, merged)
+	}
+	return merged, mergedSel, nil
+}
+
+// qualifiedMatch reports whether name is a table-qualified spelling whose
+// column part equals attr.
+func qualifiedMatch(name, attr string) bool {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[i+1:] == attr
+		}
+	}
+	return false
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+
+	"qfe/internal/sqlparse"
+)
+
+// Conjunctive is Universal Conjunction Encoding (Section 3.2, Algorithm 1).
+// The domain of each attribute A is discretized into
+// n_A = min(n, max(A)-min(A)+1) partitions of consecutive values; each
+// partition owns one feature-vector entry whose categorical value states
+// whether the partition satisfies the query's predicates on A: 1 (all
+// values qualify), ½ (some qualify), 0 (none qualify). Each additional
+// conjunct can only decrease entries, mirroring that conjuncts only make a
+// query more selective.
+//
+// When Options.AttrSel is set, each per-attribute vector is followed by the
+// per-attribute selectivity estimate under the uniformity assumption (the
+// gray lines of Algorithm 1): the fraction of A's domain qualifying the
+// predicates on A.
+//
+// The encoding supports arbitrarily many simple predicates per attribute,
+// but only conjunctions. By Lemma 3.2 it converges to a lossless
+// featurization (Definition 3.1) as n grows; once every partition holds a
+// single distinct value the encoding is exactly lossless, and the
+// implementation then emits only 0/1 entries (the small-domain refinement
+// noted at the end of Section 3.2). More generally, literals that align
+// with partition boundaries are resolved to 0/1 instead of ½.
+type Conjunctive struct {
+	meta *TableMeta
+	opts Options
+}
+
+// NewConjunctive returns Universal Conjunction Encoding over meta.
+func NewConjunctive(meta *TableMeta, opts Options) *Conjunctive {
+	return &Conjunctive{meta: meta, opts: opts}
+}
+
+// Name implements Featurizer.
+func (c *Conjunctive) Name() string { return "conjunctive" }
+
+// Dim implements Featurizer: sum of per-attribute entry counts, plus one
+// selectivity entry per attribute when AttrSel is enabled.
+func (c *Conjunctive) Dim() int { return partitionedDim(c.meta, c.opts) }
+
+func partitionedDim(meta *TableMeta, opts Options) int {
+	dim := 0
+	for _, a := range meta.Attrs {
+		dim += a.NEntries
+		if opts.AttrSel {
+			dim++
+		}
+	}
+	return dim
+}
+
+// Featurize implements Featurizer (Algorithm 1). expr must be conjunctive.
+func (c *Conjunctive) Featurize(expr sqlparse.Expr) ([]float64, error) {
+	if !sqlparse.IsConjunctive(expr) {
+		return nil, fmt.Errorf("core/conjunctive: disjunctions require Limited Disjunction Encoding")
+	}
+	perAttr := sqlparse.PredsPerAttr(expr)
+	if err := checkKnownAttrs(c.meta, perAttr); err != nil {
+		return nil, fmt.Errorf("core/conjunctive: %w", err)
+	}
+	vec := make([]float64, 0, c.Dim())
+	for _, a := range c.meta.Attrs {
+		av, sel, err := FeaturizeAttrConjunction(a, predsFor(perAttr, c.meta, a))
+		if err != nil {
+			return nil, err
+		}
+		vec = append(vec, av...)
+		if c.opts.AttrSel {
+			vec = append(vec, sel)
+		}
+	}
+	return vec, nil
+}
+
+// predsFor collects the predicates of attribute a from the per-attribute
+// grouping, matching both bare and table-qualified spellings.
+func predsFor(perAttr map[string][]*sqlparse.Pred, meta *TableMeta, a AttrMeta) []*sqlparse.Pred {
+	if ps, ok := perAttr[a.Name]; ok {
+		return ps
+	}
+	return perAttr[meta.Name+"."+a.Name]
+}
+
+// checkKnownAttrs verifies every referenced attribute resolves in meta.
+func checkKnownAttrs(meta *TableMeta, perAttr map[string][]*sqlparse.Pred) error {
+	for name, ps := range perAttr {
+		if meta.AttrIndex(name) < 0 {
+			return fmt.Errorf("unknown attribute %q", name)
+		}
+		for _, p := range ps {
+			if p.Str != nil {
+				return fmt.Errorf("unbound string predicate %s", p)
+			}
+		}
+	}
+	return nil
+}
+
+// FeaturizeAttrConjunction runs Algorithm 1 for a single attribute: it
+// returns the n_A-entry partition vector for the conjunction of preds on
+// attribute a, together with the per-attribute selectivity estimate
+// r_A / (max(A)-min(A)+1) of the gray lines.
+//
+// The boundary refinement generalizes the paper's small-domain note: a
+// partition is marked ½ only when the literal genuinely splits it; literals
+// aligned with a partition edge resolve the partition to 0 or 1. With
+// n_A == domain size every partition is a single value, so the vector is
+// purely 0/1.
+func FeaturizeAttrConjunction(a AttrMeta, preds []*sqlparse.Pred) ([]float64, float64, error) {
+	vec := make([]float64, a.NEntries)
+	for i := range vec {
+		vec[i] = 1
+	}
+	// Running bounds for the selectivity estimate; equality predicates also
+	// narrow them (a refinement over the paper's pseudocode, which tracks
+	// bounds only for range operators).
+	minA, maxA := a.Min, a.Max
+	var nots map[int64]struct{}
+
+	// markSplit lowers entry idx to ½ unless a previous predicate already
+	// zeroed it: entries only ever decrease (Algorithm 1, line 5).
+	markSplit := func(idx int) {
+		if vec[idx] == 1 {
+			vec[idx] = 0.5
+		}
+	}
+	zero := func(from, to int) { // [from, to)
+		if from < 0 {
+			from = 0
+		}
+		if to > len(vec) {
+			to = len(vec)
+		}
+		for i := from; i < to; i++ {
+			vec[i] = 0
+		}
+	}
+
+	for _, p := range preds {
+		if p.Str != nil {
+			return nil, 0, fmt.Errorf("core: unbound string predicate %s", p)
+		}
+		val := p.Val
+		idx := a.BucketOf(val)
+		inRange := idx >= 0 && idx < a.NEntries
+		var lo, hi int64
+		if inRange {
+			lo, hi = a.BucketRange(idx)
+		}
+		switch p.Op {
+		case sqlparse.OpEq:
+			if !inRange {
+				zero(0, a.NEntries) // impossible predicate
+				minA, maxA = 1, 0   // empty bounds
+				continue
+			}
+			zero(0, idx)
+			zero(idx+1, a.NEntries)
+			if lo != hi {
+				markSplit(idx)
+			}
+			if val > minA {
+				minA = val
+			}
+			if val < maxA {
+				maxA = val
+			}
+		case sqlparse.OpNe:
+			if inRange {
+				if lo == hi {
+					vec[idx] = 0
+				} else {
+					markSplit(idx)
+				}
+			}
+			if nots == nil {
+				nots = make(map[int64]struct{})
+			}
+			nots[val] = struct{}{}
+		case sqlparse.OpGt, sqlparse.OpGe:
+			bound := val // smallest qualifying value
+			if p.Op == sqlparse.OpGt {
+				bound = val + 1
+			}
+			switch {
+			case bound <= a.Min:
+				// Everything qualifies; nothing to do.
+			case bound > a.Max:
+				zero(0, a.NEntries)
+			default:
+				bIdx := a.BucketOf(bound)
+				bLo, _ := a.BucketRange(bIdx)
+				zero(0, bIdx)
+				if bound != bLo {
+					markSplit(bIdx)
+				}
+			}
+			if bound > minA {
+				minA = bound
+			}
+		case sqlparse.OpLt, sqlparse.OpLe:
+			bound := val // largest qualifying value
+			if p.Op == sqlparse.OpLt {
+				bound = val - 1
+			}
+			switch {
+			case bound >= a.Max:
+				// Everything qualifies; nothing to do.
+			case bound < a.Min:
+				zero(0, a.NEntries)
+			default:
+				bIdx := a.BucketOf(bound)
+				_, bHi := a.BucketRange(bIdx)
+				zero(bIdx+1, a.NEntries)
+				if bound != bHi {
+					markSplit(bIdx)
+				}
+			}
+			if bound < maxA {
+				maxA = bound
+			}
+		default:
+			return nil, 0, fmt.Errorf("core: unknown operator in %s", p)
+		}
+	}
+
+	// Per-attribute selectivity estimate. With frequency weights attached
+	// (NewTableMetaWeighted), the estimate is the weighted coverage
+	// Σ_b Weights[b]·entry_b; otherwise the paper's uniformity assumption
+	// (gray lines): the qualifying share of the domain, with not-equal
+	// exclusions inside the surviving range counted out.
+	var sel float64
+	switch {
+	case a.Weights != nil:
+		sel = weightedSel(a.Weights, vec)
+	case maxA >= minA:
+		excluded := int64(0)
+		for v := range nots {
+			if v >= minA && v <= maxA {
+				excluded++
+			}
+		}
+		r := maxA - minA + 1 - excluded
+		if r < 0 {
+			r = 0
+		}
+		sel = float64(r) / float64(a.DomainSize())
+	}
+	return vec, sel, nil
+}
+
+// weightedSel combines per-partition frequency shares with partition
+// qualification values: full partitions contribute their whole mass,
+// ½-partitions half of it.
+func weightedSel(weights, vec []float64) float64 {
+	var sel float64
+	for b, v := range vec {
+		sel += weights[b] * v
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}

@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"fmt"
+
+	"qfe/internal/core"
+	"qfe/internal/sqlparse"
+)
+
+// ExampleConjunctive reproduces the paper's Section 3.2 featurization
+// example: A < 7 AND 30 <= B <= 100 AND B <> 66 over attributes
+// A in [-9, 50], B in [0, 115], C in {1, 2}, with n = 12.
+func ExampleConjunctive() {
+	meta := core.NewTableMetaFromAttrs("t", []core.AttrMeta{
+		{Name: "A", Min: -9, Max: 50},
+		{Name: "B", Min: 0, Max: 115},
+		{Name: "C", Min: 1, Max: 2},
+	}, 12)
+	f := core.NewConjunctive(meta, core.Options{MaxEntriesPerAttr: 12, AttrSel: false})
+
+	q := sqlparse.MustParse(
+		"SELECT count(*) FROM t WHERE A < 7 AND B >= 30 AND B <= 100 AND B <> 66")
+	vec, err := f.Featurize(q.Where)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("A:", vec[0:12])
+	fmt.Println("B:", vec[12:24])
+	fmt.Println("C:", vec[24:26])
+	// Output:
+	// A: [1 1 1 0.5 0 0 0 0 0 0 0 0]
+	// B: [0 0 0 0.5 1 1 0.5 1 1 1 0.5 0]
+	// C: [1 1]
+}
+
+// ExampleComplex featurizes a mixed query (Definition 3.3) with Limited
+// Disjunction Encoding: each disjunct is featurized with Algorithm 1 and
+// the per-attribute vectors merge by entry-wise max.
+func ExampleComplex() {
+	meta := core.NewTableMetaFromAttrs("t", []core.AttrMeta{
+		{Name: "A", Min: -9, Max: 50},
+	}, 12)
+	f := core.NewComplex(meta, core.Options{MaxEntriesPerAttr: 12, AttrSel: false})
+
+	q := sqlparse.MustParse(
+		"SELECT count(*) FROM t WHERE A > -2 AND A <= 30 AND A <> 7 OR A >= 42")
+	vec, err := f.Featurize(q.Where)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(vec)
+	// Output:
+	// [0 0.5 1 0.5 1 1 1 1 0 0 0.5 1]
+}
+
+// ExampleGroupByVector shows the Section 6 GROUP BY encoding: one bit per
+// attribute, set for each grouping attribute.
+func ExampleGroupByVector() {
+	meta := core.NewTableMetaFromAttrs("t", []core.AttrMeta{
+		{Name: "A1", Min: 0, Max: 9}, {Name: "A2", Min: 0, Max: 9},
+		{Name: "A3", Min: 0, Max: 9}, {Name: "A4", Min: 0, Max: 9},
+		{Name: "A5", Min: 0, Max: 9},
+	}, 4)
+	vec, _ := core.GroupByVector(meta, []string{"A2", "A4"})
+	fmt.Println(vec)
+	// Output:
+	// [0 1 0 1 0]
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qfe/internal/sqlparse"
+)
+
+// This file implements the Section 6 extensions: GROUP BY featurization and
+// string-prefix predicates via dictionary order.
+
+// GroupByVector encodes a GROUP BY clause as the binary vector of Section 6:
+// one entry per attribute of the table, set to 1 for each grouping
+// attribute. The vector is appended to any QFT's feature vector to make the
+// featurization grouping-aware.
+func GroupByVector(meta *TableMeta, groupBy []string) ([]float64, error) {
+	vec := make([]float64, meta.NumAttrs())
+	for _, g := range groupBy {
+		i := meta.AttrIndex(g)
+		if i < 0 {
+			return nil, fmt.Errorf("core: unknown grouping attribute %q", g)
+		}
+		vec[i] = 1
+	}
+	return vec, nil
+}
+
+// PrefixPreds rewrites a string-prefix predicate (SQL "attr LIKE 'p%'") into
+// the equivalent pair of range predicates over the attribute's sorted
+// dictionary codes. Section 6 observes that, unlike pure dictionary-equality
+// schemes, the partition-based QFTs naturally featurize such predicates:
+// because the dictionary is sorted, all strings with prefix p occupy the
+// contiguous code range [first(p), last(p)].
+//
+// The result is the conjunction attr >= lo AND attr <= hi, or an
+// unsatisfiable predicate when no dictionary entry has the prefix.
+func PrefixPreds(attr, prefix string, dict []string) sqlparse.Expr {
+	lo := sort.SearchStrings(dict, prefix)
+	hi := sort.Search(len(dict), func(i int) bool {
+		return !strings.HasPrefix(dict[i], prefix) && dict[i] > prefix
+	})
+	if lo >= hi || lo >= len(dict) || !strings.HasPrefix(dict[lo], prefix) {
+		// No string carries the prefix: an unsatisfiable code equality.
+		return &sqlparse.Pred{Attr: attr, Op: sqlparse.OpEq, Val: int64(len(dict))}
+	}
+	return sqlparse.NewAnd(
+		&sqlparse.Pred{Attr: attr, Op: sqlparse.OpGe, Val: int64(lo)},
+		&sqlparse.Pred{Attr: attr, Op: sqlparse.OpLe, Val: int64(hi - 1)},
+	)
+}
+
+// WithGroupBy wraps a Featurizer so that its vectors carry the GROUP BY
+// block of Section 6 appended after the base encoding.
+type WithGroupBy struct {
+	Base Featurizer
+	Meta *TableMeta
+}
+
+// Name implements Featurizer.
+func (w *WithGroupBy) Name() string { return w.Base.Name() + "+groupby" }
+
+// Dim implements Featurizer.
+func (w *WithGroupBy) Dim() int { return w.Base.Dim() + w.Meta.NumAttrs() }
+
+// Featurize implements Featurizer for the selection part only; use
+// FeaturizeQuery to include the grouping attributes.
+func (w *WithGroupBy) Featurize(expr sqlparse.Expr) ([]float64, error) {
+	return w.FeaturizeQuery(expr, nil)
+}
+
+// FeaturizeQuery encodes the selection expression and the grouping
+// attributes into one vector.
+func (w *WithGroupBy) FeaturizeQuery(expr sqlparse.Expr, groupBy []string) ([]float64, error) {
+	base, err := w.Base.Featurize(expr)
+	if err != nil {
+		return nil, err
+	}
+	gb, err := GroupByVector(w.Meta, groupBy)
+	if err != nil {
+		return nil, err
+	}
+	return append(base, gb...), nil
+}

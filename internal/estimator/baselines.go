@@ -1,0 +1,196 @@
+package estimator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qfe/internal/exec"
+	"qfe/internal/sqlparse"
+	"qfe/internal/table"
+)
+
+// Oracle returns the true result cardinality by executing the query — the
+// "True cardinalities" column of Table 4 and the labeling reference.
+type Oracle struct {
+	DB *table.DB
+}
+
+// Name implements Estimator.
+func (o *Oracle) Name() string { return "True cardinalities" }
+
+// Estimate implements Estimator by exact execution.
+func (o *Oracle) Estimate(q *sqlparse.Query) (float64, error) {
+	c, err := exec.Count(o.DB, q)
+	if err != nil {
+		return 0, err
+	}
+	if c < 1 {
+		return 1, nil
+	}
+	return float64(c), nil
+}
+
+// splitConjunctsByTable groups the top-level conjuncts of q.Where by the
+// table they reference (the single table for unqualified attributes).
+func splitConjunctsByTable(q *sqlparse.Query) (map[string]sqlparse.Expr, error) {
+	single := ""
+	if len(q.Tables) == 1 {
+		single = q.Tables[0]
+	}
+	byTable := make(map[string][]sqlparse.Expr)
+	for _, kid := range sqlparse.Conjuncts(q.Where) {
+		tbl := ""
+		for _, p := range sqlparse.CollectPreds(kid) {
+			pt := tableOfAttr(p.Attr, single)
+			if pt == "" {
+				return nil, fmt.Errorf("estimator: unqualified attribute %q in multi-table query", p.Attr)
+			}
+			if tbl == "" {
+				tbl = pt
+			} else if tbl != pt {
+				return nil, fmt.Errorf("estimator: conjunct %q spans tables", kid)
+			}
+		}
+		byTable[tbl] = append(byTable[tbl], kid)
+	}
+	out := make(map[string]sqlparse.Expr, len(byTable))
+	for tn, kids := range byTable {
+		out[tn] = sqlparse.NewAnd(kids...)
+	}
+	return out, nil
+}
+
+func tableOfAttr(attr, single string) string {
+	for i := 0; i < len(attr); i++ {
+		if attr[i] == '.' {
+			return attr[:i]
+		}
+	}
+	return single
+}
+
+// Sampling is the Bernoulli-sampling baseline of Section 5.2: a fresh
+// p-fraction sample of the table is drawn per query, the predicates are
+// evaluated exactly on the sample, and the count is scaled by 1/p. Small
+// true cardinalities produce the baseline's characteristic tail errors
+// (zero sample hits force the minimum estimate of 1).
+//
+// Only single-table queries are supported, matching the paper's use of the
+// baseline on the forest workloads; join sampling would need correlated
+// sampling [29], which is out of scope.
+type Sampling struct {
+	DB *table.DB
+	// Fraction is p; the paper uses 0.001 (0.1%).
+	Fraction float64
+	// Seed makes the per-query sampling deterministic for tests; each
+	// Estimate call advances the stream.
+	rng *rand.Rand
+}
+
+// NewSampling returns the baseline with the paper's 0.1% default.
+func NewSampling(db *table.DB, fraction float64, seed int64) *Sampling {
+	if fraction <= 0 || fraction > 1 {
+		fraction = 0.001
+	}
+	return &Sampling{DB: db, Fraction: fraction, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Estimator.
+func (s *Sampling) Name() string { return "Sampling" }
+
+// Estimate implements Estimator.
+func (s *Sampling) Estimate(q *sqlparse.Query) (float64, error) {
+	if len(q.Tables) != 1 {
+		return 0, fmt.Errorf("estimator: sampling baseline supports single-table queries only")
+	}
+	t := s.DB.Table(q.Tables[0])
+	if t == nil {
+		return 0, fmt.Errorf("estimator: unknown table %q", q.Tables[0])
+	}
+	n := t.NumRows()
+	hits := 0
+	sampled := 0
+	for r := 0; r < n; r++ {
+		if s.rng.Float64() >= s.Fraction {
+			continue
+		}
+		sampled++
+		ok, err := rowQualifies(t, q.Where, r)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hits++
+		}
+	}
+	est := float64(hits) / s.Fraction
+	if est < 1 {
+		est = 1
+	}
+	return est, nil
+}
+
+// rowQualifies evaluates expr on a single row of t.
+func rowQualifies(t *table.Table, expr sqlparse.Expr, r int) (bool, error) {
+	switch n := expr.(type) {
+	case nil:
+		return true, nil
+	case *sqlparse.Pred:
+		if n.Str != nil {
+			return false, fmt.Errorf("estimator: unbound string predicate %s", n)
+		}
+		name := n.Attr
+		if i := indexByte(name, '.'); i >= 0 {
+			name = name[i+1:]
+		}
+		col := t.Column(name)
+		if col == nil {
+			return false, fmt.Errorf("estimator: unknown column %q", n.Attr)
+		}
+		v := col.Vals[r]
+		switch n.Op {
+		case sqlparse.OpEq:
+			return v == n.Val, nil
+		case sqlparse.OpNe:
+			return v != n.Val, nil
+		case sqlparse.OpLt:
+			return v < n.Val, nil
+		case sqlparse.OpLe:
+			return v <= n.Val, nil
+		case sqlparse.OpGt:
+			return v > n.Val, nil
+		case sqlparse.OpGe:
+			return v >= n.Val, nil
+		}
+		return false, fmt.Errorf("estimator: unknown operator in %s", n)
+	case *sqlparse.And:
+		for _, k := range n.Kids {
+			ok, err := rowQualifies(t, k, r)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case *sqlparse.Or:
+		for _, k := range n.Kids {
+			ok, err := rowQualifies(t, k, r)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	return false, fmt.Errorf("estimator: unknown expr %T", expr)
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,481 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"qfe/internal/catalog"
+	"qfe/internal/core"
+	"qfe/internal/dataset"
+	"qfe/internal/metrics"
+	"qfe/internal/ml/gb"
+	"qfe/internal/ml/mscn"
+	"qfe/internal/ml/nn"
+	"qfe/internal/sqlparse"
+	"qfe/internal/table"
+	"qfe/internal/workload"
+)
+
+// testEnv builds a small forest table plus conjunctive train/test workloads
+// shared across the integration tests.
+type testEnv struct {
+	tbl   *table.Table
+	db    *table.DB
+	train workload.Set
+	test  workload.Set
+}
+
+var envCache *testEnv
+
+func env(t *testing.T) *testEnv {
+	t.Helper()
+	if envCache != nil {
+		return envCache
+	}
+	tbl, err := dataset.Forest(dataset.ForestConfig{Rows: 4000, QuantAttrs: 5, BinaryAttrs: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := table.NewDB()
+	db.MustAdd(tbl)
+	set, err := workload.Conjunctive(tbl, workload.ConjConfig{Count: 2500, MaxAttrs: 5, MaxNotEquals: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := set.Split(2000)
+	envCache = &testEnv{tbl: tbl, db: db, train: train, test: test}
+	return envCache
+}
+
+func smallGB() gb.Config {
+	cfg := gb.DefaultConfig()
+	cfg.NumTrees = 60
+	cfg.MaxDepth = 6
+	cfg.Seed = 1
+	return cfg
+}
+
+func smallNN() nn.Config {
+	cfg := nn.DefaultConfig()
+	cfg.Hidden = []int{32, 16}
+	cfg.Epochs = 25
+	cfg.Seed = 1
+	return cfg
+}
+
+func TestOracleIsPerfect(t *testing.T) {
+	e := env(t)
+	o := &Oracle{DB: e.db}
+	qerrs, err := Evaluate(o, e.test[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qerrs {
+		if q != 1 {
+			t.Fatalf("oracle q-error %v at query %d", q, i)
+		}
+	}
+}
+
+func TestIndependenceBaseline(t *testing.T) {
+	e := env(t)
+	ind := &Independence{DB: e.db}
+	s, err := Summarize(ind, e.test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline must be sane (finite, >= 1) but visibly imperfect on
+	// correlated data.
+	if s.Median < 1 || math.IsInf(s.Mean, 0) || math.IsNaN(s.Mean) {
+		t.Fatalf("degenerate summary: %v", s)
+	}
+	if s.Max <= 1.01 {
+		t.Errorf("independence baseline suspiciously perfect (max q-error %v) on correlated data", s.Max)
+	}
+}
+
+func TestIndependenceSingleAttrBetterThanMultiAttr(t *testing.T) {
+	// Single-attribute queries carry no independence error — only the
+	// histogram's discretization — so they must fare much better than
+	// multi-attribute queries, where the independence assumption bites.
+	e := env(t)
+	ind := &Independence{DB: e.db}
+	var single, multi []float64
+	for _, l := range e.test {
+		est, err := ind.Estimate(l.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qe := metrics.QError(float64(l.Card), est)
+		if sqlparse.NumAttributes(l.Query) == 1 {
+			single = append(single, qe)
+		} else if sqlparse.NumAttributes(l.Query) >= 3 {
+			multi = append(multi, qe)
+		}
+	}
+	if len(single) == 0 || len(multi) == 0 {
+		t.Skip("workload lacks one of the groups")
+	}
+	sm, mm := metrics.Summarize(single).Median, metrics.Summarize(multi).Median
+	t.Logf("independence median q-error: 1 attr = %v, >=3 attrs = %v", sm, mm)
+	if sm >= mm {
+		t.Errorf("single-attr median %v should beat multi-attr median %v", sm, mm)
+	}
+}
+
+func TestSamplingBaseline(t *testing.T) {
+	e := env(t)
+	// A generous 10% sample keeps the test stable.
+	s := NewSampling(e.db, 0.10, 7)
+	qerrs, err := Evaluate(s, e.test[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := metrics.Summarize(qerrs)
+	if sum.Median > 5 {
+		t.Errorf("10%% sampling median q-error %v, want modest", sum.Median)
+	}
+	// Joins unsupported.
+	if _, err := s.Estimate(sqlparse.MustParse("SELECT count(*) FROM a, b WHERE a.x = b.y")); err == nil {
+		t.Error("sampling baseline should reject join queries")
+	}
+}
+
+func TestLocalGBConjunctiveBeatsIndependence(t *testing.T) {
+	e := env(t)
+	loc, err := NewLocal(e.db, LocalConfig{
+		QFT:          "conjunctive",
+		Opts:         core.Options{MaxEntriesPerAttr: 32, AttrSel: true},
+		NewRegressor: NewGBFactory(smallGB()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.Train(e.train); err != nil {
+		t.Fatal(err)
+	}
+	if loc.NumModels() != 1 {
+		t.Fatalf("expected 1 local model, got %d", loc.NumModels())
+	}
+	// The Figure 4 effect: the independence assumption compounds with the
+	// number of attributes, so the learned estimator must win on the
+	// multi-attribute queries (>= 3 attrs at this miniature scale).
+	var multi workload.Set
+	for _, l := range e.test {
+		if sqlparse.NumAttributes(l.Query) >= 3 {
+			multi = append(multi, l)
+		}
+	}
+	gbSum, err := Summarize(loc, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indSum, err := Summarize(&Independence{DB: e.db}, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf(">=3 attrs: GB+conj: %v  |  independence: %v", gbSum, indSum)
+	if gbSum.Median >= indSum.Median {
+		t.Errorf("GB+conj median %v should beat independence median %v on multi-attribute queries", gbSum.Median, indSum.Median)
+	}
+	if gbSum.Median > 3 {
+		t.Errorf("GB+conj median %v unexpectedly high", gbSum.Median)
+	}
+	if loc.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes not positive after training")
+	}
+}
+
+func TestLocalConjunctiveBeatsSimple(t *testing.T) {
+	// The paper's headline effect at miniature scale: with multiple
+	// predicates per attribute, Universal Conjunction Encoding must beat
+	// Singular Predicate Encoding under the same model.
+	e := env(t)
+	run := func(qft string) metrics.Summary {
+		loc, err := NewLocal(e.db, LocalConfig{
+			QFT:          qft,
+			Opts:         core.Options{MaxEntriesPerAttr: 32, AttrSel: true},
+			NewRegressor: NewGBFactory(smallGB()),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := loc.Train(e.train); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Summarize(loc, e.test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	conj := run("conjunctive")
+	simple := run("simple")
+	t.Logf("conjunctive: %v  |  simple: %v", conj, simple)
+	if conj.Mean >= simple.Mean {
+		t.Errorf("conjunctive mean %v should beat simple mean %v", conj.Mean, simple.Mean)
+	}
+}
+
+func TestLocalComplexOnMixedWorkload(t *testing.T) {
+	e := env(t)
+	mixed, err := workload.Mixed(e.tbl, workload.MixedConfig{
+		ConjConfig:  workload.ConjConfig{Count: 600, MaxAttrs: 3, MaxNotEquals: 2, Seed: 9},
+		MaxBranches: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := mixed.Split(450)
+	loc, err := NewLocal(e.db, LocalConfig{
+		QFT:          "complex",
+		Opts:         core.Options{MaxEntriesPerAttr: 32, AttrSel: true},
+		NewRegressor: NewGBFactory(smallGB()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(loc, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("GB+complex on mixed: %v", s)
+	if s.Median > 4 {
+		t.Errorf("GB+complex median %v on mixed workload, want < 4", s.Median)
+	}
+	// The conjunctive-only QFTs must refuse the mixed workload.
+	conjLoc, err := NewLocal(e.db, LocalConfig{
+		QFT:          "conjunctive",
+		Opts:         core.Options{MaxEntriesPerAttr: 32, AttrSel: true},
+		NewRegressor: NewGBFactory(smallGB()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conjLoc.Train(train); err == nil {
+		t.Error("conjunctive QFT should reject disjunctive training queries")
+	}
+}
+
+func TestLocalNN(t *testing.T) {
+	e := env(t)
+	loc, err := NewLocal(e.db, LocalConfig{
+		QFT:          "conjunctive",
+		Opts:         core.Options{MaxEntriesPerAttr: 16, AttrSel: true},
+		NewRegressor: NewNNFactory(smallNN()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.Train(e.train); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(loc, e.test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("NN+conj: %v", s)
+	if s.Median > 10 {
+		t.Errorf("NN+conj median %v, want < 10", s.Median)
+	}
+}
+
+func TestEstimateUnknownSubSchema(t *testing.T) {
+	e := env(t)
+	loc, err := NewLocal(e.db, LocalConfig{
+		QFT:          "conjunctive",
+		Opts:         core.Options{MaxEntriesPerAttr: 8, AttrSel: false},
+		NewRegressor: NewGBFactory(smallGB()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.Train(e.train); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loc.Estimate(sqlparse.MustParse("SELECT count(*) FROM unknown")); err == nil {
+		t.Error("expected error for untrained sub-schema")
+	}
+}
+
+func TestLocalJoinsAndGlobalAndMSCN(t *testing.T) {
+	// One end-to-end pass over the join stack: IMDb star schema, training
+	// workload, JOB-light-style suite; local GB, global GB, MSCN original
+	// and modified. Tiny sizes — correctness of plumbing, not accuracy.
+	db, err := dataset.IMDB(dataset.IMDBConfig{Titles: 600, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := dataset.IMDBSchema()
+	trainCfg := workload.DefaultJOBLightConfig()
+	trainCfg.Count = 400
+	trainCfg.Seed = 11
+	train, err := workload.JoinTraining(db, schema, trainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testCfg := workload.DefaultJOBLightConfig()
+	testCfg.Count = 25
+	testCfg.Seed = 12
+	test, err := workload.JOBLight(db, schema, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep only test queries whose sub-schema also occurs in training, the
+	// local-model contract.
+	trained := map[string]bool{}
+	for _, l := range train {
+		trained[catalog.SubSchemaKey(l.Query.Tables)] = true
+	}
+	var routable workload.Set
+	for _, l := range test {
+		if trained[catalog.SubSchemaKey(l.Query.Tables)] {
+			routable = append(routable, l)
+		}
+	}
+	if len(routable) == 0 {
+		t.Fatal("no routable test queries; training workload too small")
+	}
+
+	opts := core.Options{MaxEntriesPerAttr: 16, AttrSel: true}
+
+	loc, err := NewLocal(db, LocalConfig{QFT: "conjunctive", Opts: opts, NewRegressor: NewGBFactory(smallGB())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	if loc.NumModels() < 2 {
+		t.Errorf("expected several sub-schema models, got %d", loc.NumModels())
+	}
+	locSum, err := Summarize(loc, routable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("local GB+conj on joins: %v (models: %d)", locSum, loc.NumModels())
+	if math.IsNaN(locSum.Mean) || locSum.Median < 1 {
+		t.Fatalf("degenerate local summary %v", locSum)
+	}
+
+	glob, err := NewGlobal(db, schema, "conjunctive", opts, NewGBFactory(smallGB()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := glob.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	globSum, err := Summarize(glob, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("global GB+conj on joins: %v", globSum)
+
+	mcfg := mscn.DefaultConfig()
+	mcfg.Epochs = 10
+	mcfg.HiddenSet = 16
+	mcfg.HiddenOut = 32
+	for _, mode := range []core.MSCNMode{core.MSCNOriginal, core.MSCNPerAttribute} {
+		est, err := NewMSCN(db, schema, mode, opts, mcfg, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := est.Train(train); err != nil {
+			t.Fatal(err)
+		}
+		sum, err := Summarize(est, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s on joins: %v", est.Name(), sum)
+		if math.IsNaN(sum.Mean) || sum.Median < 1 {
+			t.Fatalf("degenerate MSCN summary %v", sum)
+		}
+		if est.MemoryBytes() <= 0 {
+			t.Error("MSCN MemoryBytes not positive")
+		}
+	}
+}
+
+func TestMSCNRejectsEstimateBeforeTrain(t *testing.T) {
+	db, err := dataset.IMDB(dataset.IMDBConfig{Titles: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := NewMSCN(db, dataset.IMDBSchema(), core.MSCNOriginal, core.DefaultOptions(), mscn.DefaultConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Estimate(sqlparse.MustParse("SELECT count(*) FROM title")); err == nil {
+		t.Error("expected error before Train")
+	}
+}
+
+func TestLabelTransformRoundTrip(t *testing.T) {
+	tr := labelTransform{}
+	for _, card := range []float64{1, 2, 10, 1e6} {
+		got := tr.inverse(tr.forward(card))
+		if math.Abs(got-card)/card > 1e-9 {
+			t.Errorf("round trip %v -> %v", card, got)
+		}
+	}
+	if tr.inverse(-100) != 1 {
+		t.Error("negative predictions must clamp to 1")
+	}
+	if tr.inverse(1e9) <= 0 || math.IsInf(tr.inverse(1e9), 0) {
+		t.Error("huge predictions must stay finite")
+	}
+	raw := labelTransform{raw: true}
+	if raw.forward(123) != 123 || raw.inverse(123) != 123 {
+		t.Error("raw transform must be identity above 1")
+	}
+}
+
+func TestFactoryByName(t *testing.T) {
+	if _, err := FactoryByName("GB", gb.DefaultConfig(), nn.DefaultConfig()); err != nil {
+		t.Error(err)
+	}
+	if _, err := FactoryByName("nn", gb.DefaultConfig(), nn.DefaultConfig()); err != nil {
+		t.Error(err)
+	}
+	if _, err := FactoryByName("svm", gb.DefaultConfig(), nn.DefaultConfig()); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestNewLocalValidation(t *testing.T) {
+	e := env(t)
+	if _, err := NewLocal(e.db, LocalConfig{QFT: "conjunctive"}); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := NewLocal(e.db, LocalConfig{QFT: "nope", NewRegressor: NewGBFactory(smallGB())}); err == nil {
+		t.Error("unknown QFT accepted")
+	}
+}
+
+func TestZeroOptionsGetPaperDefaults(t *testing.T) {
+	e := env(t)
+	loc, err := NewLocal(e.db, LocalConfig{
+		QFT:          "conjunctive",
+		NewRegressor: NewGBFactory(smallGB()),
+		// Opts left zero: MaxEntriesPerAttr must default to 64, not 1.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.Train(e.train[:300]); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(loc, e.test[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one partition per attribute the median would be far worse; 64
+	// entries keep it in the usual band.
+	if sum.Median > 4 {
+		t.Errorf("zero-options median %v; defaults not applied?", sum.Median)
+	}
+}

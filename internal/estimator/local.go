@@ -1,0 +1,174 @@
+package estimator
+
+import (
+	"fmt"
+	"sort"
+
+	"qfe/internal/catalog"
+	"qfe/internal/core"
+	"qfe/internal/sqlparse"
+	"qfe/internal/table"
+	"qfe/internal/workload"
+)
+
+// LocalConfig configures a local-model estimator (Section 2.1.2): one
+// (QFT, regressor) pair per sub-schema, routed by the query's table set.
+type LocalConfig struct {
+	// QFT is the featurization technique name ("simple", "range",
+	// "conjunctive", "complex").
+	QFT string
+	// Opts are the QFT options (per-attribute entries, attrSel).
+	Opts core.Options
+	// NewRegressor builds a fresh model per sub-schema.
+	NewRegressor RegressorFactory
+	// RawLabels disables the log2 label transform (ablation).
+	RawLabels bool
+}
+
+// Local is the local-model estimator: per sub-schema, the selection
+// predicates are featurized with the configured QFT (per-table vectors
+// concatenated in canonical order) and regressed by a dedicated model.
+type Local struct {
+	cfg       LocalConfig
+	metas     map[string]*core.TableMeta
+	models    map[string]*localModel
+	transform labelTransform
+	modelName string
+}
+
+type localModel struct {
+	tables []string // sorted
+	feats  []core.Featurizer
+	reg    Regressor
+}
+
+// NewLocal builds the estimator skeleton over the database's tables. Models
+// are created lazily per sub-schema during Train.
+func NewLocal(db *table.DB, cfg LocalConfig) (*Local, error) {
+	if cfg.NewRegressor == nil {
+		return nil, fmt.Errorf("estimator: LocalConfig.NewRegressor is nil")
+	}
+	cfg.Opts = cfg.Opts.Normalized()
+	if _, err := core.New(cfg.QFT, core.NewTableMetaFromAttrs("probe", []core.AttrMeta{{Name: "x", Min: 0, Max: 1}}, 2), cfg.Opts); err != nil {
+		return nil, err
+	}
+	l := &Local{
+		cfg:       cfg,
+		metas:     make(map[string]*core.TableMeta),
+		models:    make(map[string]*localModel),
+		transform: labelTransform{raw: cfg.RawLabels},
+		modelName: cfg.NewRegressor().Name(),
+	}
+	for _, tn := range db.TableNames() {
+		l.metas[tn] = core.NewTableMeta(db.Table(tn), cfg.Opts.MaxEntriesPerAttr)
+	}
+	return l, nil
+}
+
+// Name implements Estimator, e.g. "GB + conjunctive (local)".
+func (l *Local) Name() string {
+	return fmt.Sprintf("%s + %s (local)", l.modelName, l.cfg.QFT)
+}
+
+// Train fits one model per sub-schema occurring in the training set. Each
+// sub-schema needs enough queries for its regressor; sub-schemas without
+// training queries simply have no model and fail at Estimate time.
+func (l *Local) Train(train workload.Set) error {
+	grouped := make(map[string]workload.Set)
+	for _, lq := range train {
+		key := catalog.SubSchemaKey(lq.Query.Tables)
+		grouped[key] = append(grouped[key], lq)
+	}
+	// Deterministic training order.
+	keys := make([]string, 0, len(grouped))
+	for k := range grouped {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, key := range keys {
+		set := grouped[key]
+		lm, err := l.modelFor(set[0].Query.Tables)
+		if err != nil {
+			return err
+		}
+		X := make([][]float64, len(set))
+		for i, lq := range set {
+			vec, err := l.featurizeWith(lm, lq.Query)
+			if err != nil {
+				return fmt.Errorf("estimator: featurize training query %d of %s: %w", i, key, err)
+			}
+			X[i] = vec
+		}
+		y := l.transform.transformAll(set.Cards())
+		if err := lm.reg.Fit(X, y); err != nil {
+			return fmt.Errorf("estimator: fit sub-schema %s: %w", key, err)
+		}
+		l.models[key] = lm
+	}
+	return nil
+}
+
+// modelFor creates the (untrained) local model for a table set.
+func (l *Local) modelFor(tables []string) (*localModel, error) {
+	sorted := append([]string(nil), tables...)
+	sort.Strings(sorted)
+	lm := &localModel{tables: sorted, reg: l.cfg.NewRegressor()}
+	for _, tn := range sorted {
+		meta, ok := l.metas[tn]
+		if !ok {
+			return nil, fmt.Errorf("estimator: unknown table %q", tn)
+		}
+		f, err := core.New(l.cfg.QFT, meta, l.cfg.Opts)
+		if err != nil {
+			return nil, err
+		}
+		lm.feats = append(lm.feats, f)
+	}
+	return lm, nil
+}
+
+// featurizeWith encodes q's selection predicates: per-table featurizations
+// concatenated in the sub-schema's canonical (sorted) table order.
+func (l *Local) featurizeWith(lm *localModel, q *sqlparse.Query) ([]float64, error) {
+	perTable, err := core.SplitWhereByTable(q)
+	if err != nil {
+		return nil, err
+	}
+	var vec []float64
+	for i, tn := range lm.tables {
+		sub, err := lm.feats[i].Featurize(perTable[tn])
+		if err != nil {
+			return nil, fmt.Errorf("table %q: %w", tn, err)
+		}
+		vec = append(vec, sub...)
+	}
+	return vec, nil
+}
+
+// Estimate implements Estimator: route to the sub-schema's model, featurize,
+// predict, invert the label transform.
+func (l *Local) Estimate(q *sqlparse.Query) (float64, error) {
+	key := catalog.SubSchemaKey(q.Tables)
+	lm, ok := l.models[key]
+	if !ok {
+		return 0, fmt.Errorf("estimator: no local model trained for sub-schema %q", key)
+	}
+	vec, err := l.featurizeWith(lm, q)
+	if err != nil {
+		return 0, err
+	}
+	return l.transform.inverse(lm.reg.Predict(vec)), nil
+}
+
+// NumModels returns the number of trained sub-schema models.
+func (l *Local) NumModels() int { return len(l.models) }
+
+// MemoryBytes sums the trained models' footprints (Section 5.7).
+func (l *Local) MemoryBytes() int {
+	total := 0
+	for _, lm := range l.models {
+		total += lm.reg.MemoryBytes()
+	}
+	return total
+}

@@ -1,0 +1,174 @@
+package estimator
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"qfe/internal/catalog"
+	"qfe/internal/core"
+	"qfe/internal/ml/gb"
+	"qfe/internal/ml/nn"
+)
+
+// This file implements persistence for local estimators: a trained Local
+// (its QFT configuration, per-table featurization metadata, and every
+// sub-schema model's weights) serializes to a single JSON document. The
+// point is operational: training happens against the data (Section 5.5.2's
+// expensive step is obtaining labeled queries), while estimation only needs
+// the model file — no table access at all.
+
+// savedLocal is the on-disk format.
+type savedLocal struct {
+	Format    int              `json:"format"`
+	QFT       string           `json:"qft"`
+	Opts      core.Options     `json:"opts"`
+	RawLabels bool             `json:"rawLabels"`
+	ModelType string           `json:"modelType"` // "GB" or "NN"
+	Metas     []core.MetaSpec  `json:"metas"`
+	Models    []savedSubSchema `json:"models"`
+}
+
+type savedSubSchema struct {
+	Tables  []string        `json:"tables"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// currentFormat guards against silently loading incompatible files.
+const currentFormat = 1
+
+// SaveJSON writes the trained estimator to w. Only GB- and NN-backed locals
+// are serializable (MSCN-backed estimators are global models with their own
+// lifecycle).
+func (l *Local) SaveJSON(w io.Writer) error {
+	s := savedLocal{
+		Format:    currentFormat,
+		QFT:       l.cfg.QFT,
+		Opts:      l.cfg.Opts,
+		RawLabels: l.cfg.RawLabels,
+		ModelType: l.modelName,
+	}
+	tableNames := make([]string, 0, len(l.metas))
+	for name := range l.metas {
+		tableNames = append(tableNames, name)
+	}
+	sort.Strings(tableNames)
+	for _, name := range tableNames {
+		s.Metas = append(s.Metas, l.metas[name].Spec())
+	}
+
+	keys := make([]string, 0, len(l.models))
+	for k := range l.models {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		lm := l.models[k]
+		payload, err := marshalRegressor(lm.reg)
+		if err != nil {
+			return fmt.Errorf("estimator: serialize sub-schema %q: %w", k, err)
+		}
+		s.Models = append(s.Models, savedSubSchema{Tables: lm.tables, Payload: payload})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+func marshalRegressor(r Regressor) (json.RawMessage, error) {
+	switch reg := r.(type) {
+	case *GBRegressor:
+		if reg.model == nil {
+			return nil, fmt.Errorf("GB model not trained")
+		}
+		return json.Marshal(reg.model)
+	case *NNRegressor:
+		if reg.model == nil {
+			return nil, fmt.Errorf("NN model not trained")
+		}
+		return json.Marshal(reg.model)
+	}
+	return nil, fmt.Errorf("regressor %T is not serializable", r)
+}
+
+// LoadLocal restores a trained estimator from r. The returned estimator
+// answers Estimate immediately; Train may be called again to replace the
+// models (e.g. after data drift).
+func LoadLocal(r io.Reader) (*Local, error) {
+	var s savedLocal
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("estimator: decode: %w", err)
+	}
+	if s.Format != currentFormat {
+		return nil, fmt.Errorf("estimator: unsupported format %d (want %d)", s.Format, currentFormat)
+	}
+
+	// Validate the QFT name eagerly, mirroring NewLocal.
+	probe := core.NewTableMetaFromAttrs("probe", []core.AttrMeta{{Name: "x", Min: 0, Max: 1}}, 2)
+	if _, err := core.New(s.QFT, probe, s.Opts); err != nil {
+		return nil, err
+	}
+
+	var factory RegressorFactory
+	switch s.ModelType {
+	case "GB":
+		factory = NewGBFactory(gb.DefaultConfig())
+	case "NN":
+		factory = NewNNFactory(nn.DefaultConfig())
+	default:
+		return nil, fmt.Errorf("estimator: unknown model type %q", s.ModelType)
+	}
+
+	l := &Local{
+		cfg: LocalConfig{
+			QFT:          s.QFT,
+			Opts:         s.Opts,
+			NewRegressor: factory,
+			RawLabels:    s.RawLabels,
+		},
+		metas:     make(map[string]*core.TableMeta, len(s.Metas)),
+		models:    make(map[string]*localModel, len(s.Models)),
+		transform: labelTransform{raw: s.RawLabels},
+		modelName: s.ModelType,
+	}
+	for _, spec := range s.Metas {
+		meta, err := core.NewTableMetaFromSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		l.metas[spec.Name] = meta
+	}
+	for _, sm := range s.Models {
+		lm, err := l.modelFor(sm.Tables)
+		if err != nil {
+			return nil, err
+		}
+		if err := unmarshalRegressor(lm.reg, sm.Payload); err != nil {
+			return nil, fmt.Errorf("estimator: restore sub-schema %v: %w", sm.Tables, err)
+		}
+		l.models[catalog.SubSchemaKey(lm.tables)] = lm
+	}
+	return l, nil
+}
+
+func unmarshalRegressor(r Regressor, payload json.RawMessage) error {
+	switch reg := r.(type) {
+	case *GBRegressor:
+		var m gb.Model
+		if err := json.Unmarshal(payload, &m); err != nil {
+			return err
+		}
+		reg.model = &m
+		reg.Cfg = m.Cfg
+		return nil
+	case *NNRegressor:
+		var m nn.Model
+		if err := json.Unmarshal(payload, &m); err != nil {
+			return err
+		}
+		reg.model = &m
+		return nil
+	}
+	return fmt.Errorf("regressor %T is not restorable", r)
+}

@@ -1,0 +1,180 @@
+package estimator
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qfe/internal/core"
+	"qfe/internal/workload"
+)
+
+func TestSaveLoadLocalGB(t *testing.T) {
+	e := env(t)
+	loc, err := NewLocal(e.db, LocalConfig{
+		QFT:          "conjunctive",
+		Opts:         core.Options{MaxEntriesPerAttr: 16, AttrSel: true},
+		NewRegressor: NewGBFactory(smallGB()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.Train(e.train[:500]); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := loc.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadLocal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != loc.Name() {
+		t.Errorf("restored Name = %q, want %q", back.Name(), loc.Name())
+	}
+	if back.NumModels() != loc.NumModels() {
+		t.Errorf("restored NumModels = %d, want %d", back.NumModels(), loc.NumModels())
+	}
+	// Restored estimates must be bit-identical — no table access needed.
+	for _, l := range e.test[:50] {
+		want, err := loc.Estimate(l.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Estimate(l.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("restored estimate %v != original %v for %s", got, want, l.Query)
+		}
+	}
+}
+
+func TestSaveLoadLocalNN(t *testing.T) {
+	e := env(t)
+	loc, err := NewLocal(e.db, LocalConfig{
+		QFT:          "range",
+		Opts:         core.Options{MaxEntriesPerAttr: 16, AttrSel: false},
+		NewRegressor: NewNNFactory(smallNN()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.Train(e.train[:400]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := loc.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadLocal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range e.test[:30] {
+		want, err := loc.Estimate(l.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Estimate(l.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("restored NN estimate %v != original %v", got, want)
+		}
+	}
+}
+
+func TestSaveUntrained(t *testing.T) {
+	e := env(t)
+	loc, err := NewLocal(e.db, LocalConfig{
+		QFT:          "conjunctive",
+		Opts:         core.Options{MaxEntriesPerAttr: 8, AttrSel: false},
+		NewRegressor: NewGBFactory(smallGB()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	// Saving an untrained estimator is fine (no models), and loading it
+	// yields an estimator that errors on Estimate.
+	if err := loc.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadLocal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumModels() != 0 {
+		t.Errorf("untrained round trip has %d models", back.NumModels())
+	}
+}
+
+func TestLoadLocalErrors(t *testing.T) {
+	if _, err := LoadLocal(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadLocal(strings.NewReader(`{"format":99}`)); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := LoadLocal(strings.NewReader(`{"format":1,"qft":"conjunctive","modelType":"SVM"}`)); err == nil {
+		t.Error("unknown model type accepted")
+	}
+	if _, err := LoadLocal(strings.NewReader(`{"format":1,"qft":"bogus","modelType":"GB"}`)); err == nil {
+		t.Error("unknown QFT accepted only at model build; must fail on use")
+	}
+}
+
+// TestFileWorkloadJourney exercises the full downstream-user journey:
+// generate + label a workload, write it to the textual workload format,
+// read it back, train from the file-loaded queries, persist the trained
+// estimator, reload it, and estimate — the offline-train / online-estimate
+// deployment the package is built for.
+func TestFileWorkloadJourney(t *testing.T) {
+	e := env(t)
+
+	var wl bytes.Buffer
+	if err := workload.WriteSet(&wl, e.train[:400]); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := workload.ReadSet(&wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 400 {
+		t.Fatalf("loaded %d queries, want 400", len(loaded))
+	}
+
+	loc, err := NewLocal(e.db, LocalConfig{
+		QFT:          "conjunctive",
+		Opts:         core.Options{MaxEntriesPerAttr: 16, AttrSel: true},
+		NewRegressor: NewGBFactory(smallGB()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.Train(loaded); err != nil {
+		t.Fatal(err)
+	}
+
+	var model bytes.Buffer
+	if err := loc.SaveJSON(&model); err != nil {
+		t.Fatal(err)
+	}
+	shipped, err := LoadLocal(&model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(shipped, e.test[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("shipped estimator on held-out queries: %v", sum)
+	if sum.Median > 5 {
+		t.Errorf("shipped estimator median %v, want < 5", sum.Median)
+	}
+}

@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"qfe/internal/sqlparse"
+	"qfe/internal/table"
+)
+
+// CountGroups returns the number of distinct grouping-key combinations
+// among the rows qualifying q's selection — the result cardinality of a
+// filtered GROUP BY query, the quantity Kipf et al. [11] call hard to
+// estimate and that Section 6's GROUP BY featurization targets. Only
+// single-table queries are supported (the scope of the Section 6 sketch).
+func CountGroups(db *table.DB, q *sqlparse.Query) (int64, error) {
+	if len(q.Tables) != 1 {
+		return 0, fmt.Errorf("exec: group counting supports single-table queries, got %v", q.Tables)
+	}
+	if len(q.GroupBy) == 0 {
+		// No grouping: the entire qualifying set is one group when
+		// non-empty, zero groups otherwise.
+		c, err := Count(db, q)
+		if err != nil {
+			return 0, err
+		}
+		if c > 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	t := db.Table(q.Tables[0])
+	if t == nil {
+		return 0, fmt.Errorf("exec: unknown table %q", q.Tables[0])
+	}
+	cols := make([][]int64, len(q.GroupBy))
+	for i, name := range q.GroupBy {
+		col := t.Column(name)
+		if col == nil {
+			return 0, fmt.Errorf("exec: table %q has no grouping column %q", t.Name, name)
+		}
+		cols[i] = col.Vals
+	}
+	bm, err := EvalExpr(t, q.Where)
+	if err != nil {
+		return 0, err
+	}
+
+	// Single grouping attribute: hash the value directly.
+	if len(cols) == 1 {
+		seen := make(map[int64]struct{}, 256)
+		bm.ForEach(func(r int) {
+			seen[cols[0][r]] = struct{}{}
+		})
+		return int64(len(seen)), nil
+	}
+
+	// Multiple attributes: encode the combination into a byte key.
+	seen := make(map[string]struct{}, 256)
+	key := make([]byte, 8*len(cols))
+	bm.ForEach(func(r int) {
+		for i, col := range cols {
+			binary.LittleEndian.PutUint64(key[8*i:], uint64(col[r]))
+		}
+		seen[string(key)] = struct{}{}
+	})
+	return int64(len(seen)), nil
+}

@@ -1,0 +1,69 @@
+package gb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(n, d int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		X[i] = row
+		y[i] = 3*row[0] - row[1]*2 + row[d-1]
+	}
+	return X, y
+}
+
+// BenchmarkTrainHistogram measures histogram-split training on a
+// feature-vector-sized problem (2000 samples x 200 dims).
+func BenchmarkTrainHistogram(b *testing.B) {
+	X, y := benchData(2_000, 200)
+	cfg := DefaultConfig()
+	cfg.NumTrees = 30
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(X, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainExact measures the exact-split ablation path at a reduced
+// size (it is the slow reference).
+func BenchmarkTrainExact(b *testing.B) {
+	X, y := benchData(500, 50)
+	cfg := DefaultConfig()
+	cfg.NumTrees = 10
+	cfg.ExactSplits = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(X, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredict measures single-vector inference latency, the per-query
+// cost a query optimizer would pay.
+func BenchmarkPredict(b *testing.B) {
+	X, y := benchData(2_000, 200)
+	cfg := DefaultConfig()
+	cfg.NumTrees = 100
+	m, err := Train(X, y, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(X[i%len(X)])
+	}
+}

@@ -1,0 +1,302 @@
+package gb
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// makeRegression builds a noiseless synthetic regression problem with
+// piecewise and interaction structure that trees capture well.
+func makeRegression(rng *rand.Rand, n, d int) (X [][]float64, y []float64) {
+	X = make([][]float64, n)
+	y = make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		X[i] = row
+		target := 3 * row[0]
+		if row[1] > 0.5 {
+			target += 2
+		}
+		if d > 2 && row[2] > 0.7 && row[0] < 0.3 {
+			target -= 1.5
+		}
+		y[i] = target
+	}
+	return X, y
+}
+
+func mse(m *Model, X [][]float64, y []float64) float64 {
+	var s float64
+	for i := range X {
+		diff := m.Predict(X[i]) - y[i]
+		s += diff * diff
+	}
+	return s / float64(len(X))
+}
+
+func TestTrainFitsPiecewiseFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := makeRegression(rng, 2000, 5)
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	m, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := makeRegression(rng, 500, 5)
+	if got := mse(m, Xt, yt); got > 0.05 {
+		t.Errorf("test MSE = %v, want < 0.05", got)
+	}
+}
+
+func TestMoreTreesFitBetter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, y := makeRegression(rng, 1500, 4)
+	cfg := DefaultConfig()
+	cfg.Seed = 2
+	cfg.SubsampleRows, cfg.SubsampleCols = 1, 1
+
+	cfg.NumTrees = 5
+	small, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NumTrees = 80
+	big, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse(big, X, y) >= mse(small, X, y) {
+		t.Errorf("80 trees (mse %v) should beat 5 trees (mse %v) on train",
+			mse(big, X, y), mse(small, X, y))
+	}
+}
+
+func TestSingleLeafDegenerateCase(t *testing.T) {
+	// With MinSamplesLeaf bigger than the data, every tree is one leaf and
+	// the model predicts the target mean.
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{10, 20, 30, 40}
+	cfg := DefaultConfig()
+	cfg.MinSamplesLeaf = 100
+	m, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{99}); math.Abs(got-25) > 1e-9 {
+		t.Errorf("degenerate model predicts %v, want 25", got)
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	y := []float64{7, 7, 7, 7}
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	m, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{0, 0}); math.Abs(got-7) > 1e-9 {
+		t.Errorf("constant target predicted as %v", got)
+	}
+}
+
+func TestConstantFeaturesNoSplit(t *testing.T) {
+	// All-constant features must not crash split search; the model falls
+	// back to the mean.
+	X := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	y := []float64{1, 2, 3, 4}
+	cfg := DefaultConfig()
+	cfg.MinSamplesLeaf = 1
+	m, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{1, 1}); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("got %v, want 2.5", got)
+	}
+}
+
+func TestExactSplitsMatchHistogramOnBinAligned(t *testing.T) {
+	// When feature values land exactly on bin representatives, exact and
+	// histogram split search must find equally good trees. We compare
+	// training MSE rather than identical structure.
+	rng := rand.New(rand.NewSource(4))
+	n := 800
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := float64(rng.Intn(16)) / 16 // 16 distinct values < 64 bins
+		w := float64(rng.Intn(16)) / 16
+		X[i] = []float64{v, w}
+		y[i] = 2*v - w
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 4
+	cfg.SubsampleRows, cfg.SubsampleCols = 1, 1
+	cfg.NumTrees = 40
+
+	hist, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ExactSplits = true
+	exact, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, me := mse(hist, X, y), mse(exact, X, y)
+	if mh > 2*me+1e-6 && mh > 1e-4 {
+		t.Errorf("histogram mse %v far worse than exact mse %v", mh, me)
+	}
+}
+
+func TestDeterminismUnderSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := makeRegression(rng, 500, 4)
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	m1, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		x := X[i]
+		if m1.Predict(x) != m2.Predict(x) {
+			t.Fatal("same seed must give identical models")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	X := [][]float64{{1}}
+	y := []float64{1}
+	bad := []Config{
+		{NumTrees: 0, LearningRate: 0.1, MaxDepth: 3, MinSamplesLeaf: 1, MaxBins: 8, SubsampleRows: 1, SubsampleCols: 1},
+		{NumTrees: 1, LearningRate: 0, MaxDepth: 3, MinSamplesLeaf: 1, MaxBins: 8, SubsampleRows: 1, SubsampleCols: 1},
+		{NumTrees: 1, LearningRate: 0.1, MaxDepth: 0, MinSamplesLeaf: 1, MaxBins: 8, SubsampleRows: 1, SubsampleCols: 1},
+		{NumTrees: 1, LearningRate: 0.1, MaxDepth: 3, MinSamplesLeaf: 0, MaxBins: 8, SubsampleRows: 1, SubsampleCols: 1},
+		{NumTrees: 1, LearningRate: 0.1, MaxDepth: 3, MinSamplesLeaf: 1, MaxBins: 1, SubsampleRows: 1, SubsampleCols: 1},
+		{NumTrees: 1, LearningRate: 0.1, MaxDepth: 3, MinSamplesLeaf: 1, MaxBins: 8, SubsampleRows: 0, SubsampleCols: 1},
+		{NumTrees: 1, LearningRate: 0.1, MaxDepth: 3, MinSamplesLeaf: 1, MaxBins: 8, SubsampleRows: 1, SubsampleCols: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Train(X, y, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Train(nil, nil, DefaultConfig()); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Train([][]float64{{1}, {2}}, []float64{1}, DefaultConfig()); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Train([][]float64{{1, 2}, {3}}, []float64{1, 2}, DefaultConfig()); err == nil {
+		t.Error("ragged features accepted")
+	}
+}
+
+func TestPredictDimPanic(t *testing.T) {
+	m, err := Train([][]float64{{1, 2}, {3, 4}}, []float64{1, 2}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong input dim")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X, y := makeRegression(rng, 300, 3)
+	cfg := DefaultConfig()
+	cfg.Seed = 6
+	cfg.NumTrees = 10
+	m, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if got, want := back.Predict(X[i]), m.Predict(X[i]); got != want {
+			t.Fatalf("restored model predicts %v, original %v", got, want)
+		}
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	X, y := makeRegression(rng, 300, 3)
+	cfg := DefaultConfig()
+	cfg.NumTrees = 10
+	m, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() == 0 {
+		t.Error("trained model has no nodes")
+	}
+	if m.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes not positive")
+	}
+	// Section 5.7: GB stays small — single-digit kilobytes at modest tree
+	// counts is the paper's observation; allow generous slack.
+	if m.MemoryBytes() > 10<<20 {
+		t.Errorf("GB model unexpectedly large: %d bytes", m.MemoryBytes())
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	X, y := makeRegression(rng, 100, 3)
+	cfg := DefaultConfig()
+	cfg.NumTrees = 5
+	m, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := m.PredictBatch(X[:10])
+	for i, p := range batch {
+		if p != m.Predict(X[i]) {
+			t.Fatal("PredictBatch differs from Predict")
+		}
+	}
+}
+
+func TestSampleInts(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	got := sampleInts(rng, 10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad sample %v", got)
+		}
+		seen[v] = true
+	}
+	if got := sampleInts(rng, 3, 10); len(got) != 3 {
+		t.Errorf("oversized k should clamp to n; got %v", got)
+	}
+}

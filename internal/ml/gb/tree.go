@@ -1,0 +1,219 @@
+package gb
+
+import (
+	"math"
+	"sort"
+)
+
+// builder holds the per-training-run state shared by all trees: the binned
+// feature matrix for histogram split search and scratch buffers.
+type builder struct {
+	X       [][]float64
+	cfg     Config
+	n, d    int
+	codes   []uint8     // n*d bin codes, row-major
+	edges   [][]float64 // per feature: upper edge of each bin except the last
+	allCols []int
+}
+
+// newBuilder bins every feature once; bins are reused by every tree of the
+// boosting run (the histogram trick).
+func newBuilder(X [][]float64, cfg Config) *builder {
+	n, d := len(X), len(X[0])
+	b := &builder{X: X, cfg: cfg, n: n, d: d}
+	b.allCols = make([]int, d)
+	for i := range b.allCols {
+		b.allCols[i] = i
+	}
+	b.codes = make([]uint8, n*d)
+	b.edges = make([][]float64, d)
+	for f := 0; f < d; f++ {
+		mn, mx := X[0][f], X[0][f]
+		for i := 1; i < n; i++ {
+			v := X[i][f]
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		bins := cfg.MaxBins
+		if mx == mn {
+			bins = 1
+		}
+		// Uniform bin edges over [mn, mx]: edges[k] is the inclusive upper
+		// bound of bin k; the last bin is unbounded above.
+		edges := make([]float64, bins-1)
+		width := (mx - mn) / float64(bins)
+		for k := 0; k < bins-1; k++ {
+			edges[k] = mn + width*float64(k+1)
+		}
+		b.edges[f] = edges
+		for i := 0; i < n; i++ {
+			b.codes[i*d+f] = binCode(X[i][f], mn, width, bins)
+		}
+	}
+	return b
+}
+
+func binCode(v, mn, width float64, bins int) uint8 {
+	if bins == 1 || width == 0 {
+		return 0
+	}
+	k := int((v - mn) / width)
+	if k < 0 {
+		k = 0
+	}
+	if k >= bins {
+		k = bins - 1
+	}
+	return uint8(k)
+}
+
+// build grows one regression tree on the residuals, over the given row and
+// column subsets.
+func (b *builder) build(rows, cols []int, resid []float64) *tree {
+	t := &tree{}
+	b.grow(t, rows, cols, resid, 1)
+	return t
+}
+
+// grow appends the subtree for rows to t and returns its root index.
+func (b *builder) grow(t *tree, rows, cols []int, resid []float64, depth int) int32 {
+	idx := int32(len(t.Nodes))
+	t.Nodes = append(t.Nodes, node{})
+
+	var sum float64
+	for _, r := range rows {
+		sum += resid[r]
+	}
+	mean := sum / float64(len(rows))
+
+	if depth >= b.cfg.MaxDepth || len(rows) < 2*b.cfg.MinSamplesLeaf {
+		t.Nodes[idx] = node{Leaf: true, Value: mean}
+		return idx
+	}
+
+	var feat int
+	var thr float64
+	var gain float64
+	var ok bool
+	if b.cfg.ExactSplits {
+		feat, thr, gain, ok = b.bestSplitExact(rows, cols, resid, sum)
+	} else {
+		feat, thr, gain, ok = b.bestSplitHistogram(rows, cols, resid, sum)
+	}
+	if !ok || gain <= 1e-12 {
+		t.Nodes[idx] = node{Leaf: true, Value: mean}
+		return idx
+	}
+
+	left := make([]int, 0, len(rows)/2)
+	right := make([]int, 0, len(rows)/2)
+	for _, r := range rows {
+		if b.X[r][feat] <= thr {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) < b.cfg.MinSamplesLeaf || len(right) < b.cfg.MinSamplesLeaf {
+		t.Nodes[idx] = node{Leaf: true, Value: mean}
+		return idx
+	}
+
+	l := b.grow(t, left, cols, resid, depth+1)
+	r := b.grow(t, right, cols, resid, depth+1)
+	t.Nodes[idx] = node{Feature: feat, Threshold: thr, Left: l, Right: r}
+	return idx
+}
+
+// bestSplitHistogram finds the variance-reduction-maximizing split using the
+// precomputed bin codes. The gain of a split is
+//
+//	sumL^2/cntL + sumR^2/cntR - sumTotal^2/cntTotal,
+//
+// the standard decomposition of squared-error reduction.
+func (b *builder) bestSplitHistogram(rows, cols []int, resid []float64, sumTotal float64) (feat int, thr, gain float64, ok bool) {
+	cnt := len(rows)
+	parentScore := sumTotal * sumTotal / float64(cnt)
+	bins := b.cfg.MaxBins
+	histSum := make([]float64, bins)
+	histCnt := make([]int, bins)
+
+	for _, f := range cols {
+		edges := b.edges[f]
+		if len(edges) == 0 {
+			continue // constant feature
+		}
+		nb := len(edges) + 1
+		for k := 0; k < nb; k++ {
+			histSum[k] = 0
+			histCnt[k] = 0
+		}
+		for _, r := range rows {
+			c := b.codes[r*b.d+f]
+			histSum[c] += resid[r]
+			histCnt[c]++
+		}
+		var accSum float64
+		accCnt := 0
+		for k := 0; k < nb-1; k++ {
+			accSum += histSum[k]
+			accCnt += histCnt[k]
+			if accCnt < b.cfg.MinSamplesLeaf || cnt-accCnt < b.cfg.MinSamplesLeaf {
+				continue
+			}
+			rSum := sumTotal - accSum
+			score := accSum*accSum/float64(accCnt) + rSum*rSum/float64(cnt-accCnt)
+			if g := score - parentScore; g > gain {
+				gain, feat, thr, ok = g, f, edges[k], true
+			}
+		}
+	}
+	return feat, thr, gain, ok
+}
+
+// bestSplitExact scans every distinct threshold of every candidate feature —
+// the slow reference implementation kept for the split-search ablation and
+// for cross-checking the histogram path in tests.
+func (b *builder) bestSplitExact(rows, cols []int, resid []float64, sumTotal float64) (feat int, thr, gain float64, ok bool) {
+	cnt := len(rows)
+	parentScore := sumTotal * sumTotal / float64(cnt)
+	type pair struct {
+		v, r float64
+	}
+	pairs := make([]pair, 0, cnt)
+
+	for _, f := range cols {
+		pairs = pairs[:0]
+		for _, r := range rows {
+			pairs = append(pairs, pair{b.X[r][f], resid[r]})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+		var accSum float64
+		for i := 0; i < cnt-1; i++ {
+			accSum += pairs[i].r
+			if pairs[i].v == pairs[i+1].v {
+				continue // can only split between distinct values
+			}
+			accCnt := i + 1
+			if accCnt < b.cfg.MinSamplesLeaf || cnt-accCnt < b.cfg.MinSamplesLeaf {
+				continue
+			}
+			rSum := sumTotal - accSum
+			score := accSum*accSum/float64(accCnt) + rSum*rSum/float64(cnt-accCnt)
+			if g := score - parentScore; g > gain {
+				// Split midway between the neighboring distinct values so
+				// prediction-time comparisons are robust.
+				mid := pairs[i].v + (pairs[i+1].v-pairs[i].v)/2
+				if math.IsInf(mid, 0) {
+					mid = pairs[i].v
+				}
+				gain, feat, thr, ok = g, f, mid, true
+			}
+		}
+	}
+	return feat, thr, gain, ok
+}

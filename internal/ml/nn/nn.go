@@ -1,0 +1,254 @@
+// Package nn implements the feed-forward (multi-layer perceptron) regressor
+// used as the "NN" model throughout the paper's evaluation, after Woltmann
+// et al. [32]: dense layers with ReLU activations trained by mini-batch
+// Adam on a mean-squared-error loss.
+//
+// The network is input-agnostic (Section 2.2): for a fixed input length it
+// consumes any numeric vector, which is what lets the QFTs vary while the
+// architecture stays put. The paper's Keras/TensorFlow stack is replaced by
+// a from-scratch float64 implementation (see DESIGN.md, substitutions).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qfe/internal/ml/mlmath"
+)
+
+// Config holds the network hyperparameters.
+type Config struct {
+	// Hidden lists the hidden-layer widths, e.g. {128, 64}.
+	Hidden []int
+	// LearningRate is the Adam step size.
+	LearningRate float64
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// BatchSize is the mini-batch size.
+	BatchSize int
+	// ValFraction holds out this fraction of the training set to monitor
+	// validation loss for early stopping; 0 disables the hold-out.
+	ValFraction float64
+	// Patience stops training after this many epochs without validation
+	// improvement; 0 disables early stopping.
+	Patience int
+	// Seed drives initialization and shuffling; training is deterministic
+	// given a seed.
+	Seed int64
+}
+
+// DefaultConfig mirrors the modest two-hidden-layer setup of the local-model
+// paper [32], sized for this reproduction's workloads.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:       []int{64, 32},
+		LearningRate: 1e-3,
+		Epochs:       40,
+		BatchSize:    64,
+		ValFraction:  0.1,
+		Patience:     8,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case len(c.Hidden) == 0:
+		return fmt.Errorf("nn: no hidden layers configured")
+	case c.LearningRate <= 0:
+		return fmt.Errorf("nn: LearningRate = %v, want > 0", c.LearningRate)
+	case c.Epochs < 1:
+		return fmt.Errorf("nn: Epochs = %d, want >= 1", c.Epochs)
+	case c.BatchSize < 1:
+		return fmt.Errorf("nn: BatchSize = %d, want >= 1", c.BatchSize)
+	case c.ValFraction < 0 || c.ValFraction >= 1:
+		return fmt.Errorf("nn: ValFraction = %v, want in [0, 1)", c.ValFraction)
+	}
+	for _, h := range c.Hidden {
+		if h < 1 {
+			return fmt.Errorf("nn: hidden width %d, want >= 1", h)
+		}
+	}
+	return nil
+}
+
+// Model is a trained feed-forward regressor.
+type Model struct {
+	cfg    Config
+	layers []*mlmath.Dense
+	dim    int
+}
+
+// Train fits the network on X (row-major samples) and targets y.
+func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("nn: no training samples")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("nn: %d samples but %d targets", n, len(y))
+	}
+	d := len(X[0])
+	if d == 0 {
+		return nil, fmt.Errorf("nn: zero-dimensional features")
+	}
+	for i, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("nn: sample %d has %d features, want %d", i, len(row), d)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{cfg: cfg, dim: d}
+	prev := d
+	for _, h := range cfg.Hidden {
+		m.layers = append(m.layers, mlmath.NewDense(prev, h, rng))
+		prev = h
+	}
+	m.layers = append(m.layers, mlmath.NewDense(prev, 1, rng))
+
+	// Train/validation split for early stopping.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	mlmath.Shuffle(idx, rng)
+	nVal := int(cfg.ValFraction * float64(n))
+	if cfg.Patience == 0 {
+		nVal = 0
+	}
+	valIdx, trainIdx := idx[:nVal], idx[nVal:]
+	if len(trainIdx) == 0 {
+		return nil, fmt.Errorf("nn: validation split leaves no training samples")
+	}
+
+	bestVal := math.Inf(1)
+	sinceBest := 0
+	var bestSnapshot [][]float64
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		mlmath.Shuffle(trainIdx, rng)
+		for start := 0; start < len(trainIdx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(trainIdx) {
+				end = len(trainIdx)
+			}
+			batch := trainIdx[start:end]
+			for _, l := range m.layers {
+				l.ZeroGrad()
+			}
+			for _, i := range batch {
+				m.backprop(X[i], y[i])
+			}
+			for _, l := range m.layers {
+				l.Step(cfg.LearningRate, len(batch))
+			}
+		}
+
+		if nVal > 0 {
+			var valLoss float64
+			for _, i := range valIdx {
+				diff := m.Predict(X[i]) - y[i]
+				valLoss += diff * diff
+			}
+			valLoss /= float64(nVal)
+			if valLoss < bestVal-1e-9 {
+				bestVal = valLoss
+				sinceBest = 0
+				bestSnapshot = m.snapshot()
+			} else {
+				sinceBest++
+				if sinceBest >= cfg.Patience {
+					break
+				}
+			}
+		}
+	}
+	if bestSnapshot != nil {
+		m.restore(bestSnapshot)
+	}
+	return m, nil
+}
+
+// backprop runs one forward/backward pass and accumulates gradients.
+func (m *Model) backprop(x []float64, target float64) {
+	// Forward, keeping pre-activations and inputs per layer.
+	inputs := make([][]float64, len(m.layers))
+	pres := make([][]float64, len(m.layers))
+	act := x
+	for li, l := range m.layers {
+		inputs[li] = act
+		pre := l.Forward(act)
+		pres[li] = pre
+		if li < len(m.layers)-1 {
+			act = mlmath.ReLU(append([]float64(nil), pre...))
+		} else {
+			act = pre
+		}
+	}
+	_, grad := mlmath.MSEGrad(act[0], target)
+	dy := []float64{grad}
+	for li := len(m.layers) - 1; li >= 0; li-- {
+		dx := m.layers[li].Backward(inputs[li], dy)
+		if li > 0 {
+			dy = mlmath.ReLUBackward(pres[li-1], dx)
+		}
+	}
+}
+
+// Predict returns the network output for one feature vector.
+func (m *Model) Predict(x []float64) float64 {
+	if len(x) != m.dim {
+		panic(fmt.Sprintf("nn: input dim %d, model dim %d", len(x), m.dim))
+	}
+	act := x
+	for li, l := range m.layers {
+		act = l.Forward(act)
+		if li < len(m.layers)-1 {
+			mlmath.ReLU(act)
+		}
+	}
+	return act[0]
+}
+
+// PredictBatch applies Predict to every row.
+func (m *Model) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// NumParams returns the trainable parameter count.
+func (m *Model) NumParams() int {
+	total := 0
+	for _, l := range m.layers {
+		total += l.NumParams()
+	}
+	return total
+}
+
+// MemoryBytes estimates the model's resident size (8 bytes per parameter),
+// the Section 5.7 accounting under which the NN is the largest estimator.
+func (m *Model) MemoryBytes() int { return m.NumParams() * 8 }
+
+// snapshot copies all weights; restore writes them back. Used to keep the
+// best-validation-epoch weights under early stopping.
+func (m *Model) snapshot() [][]float64 {
+	var out [][]float64
+	for _, l := range m.layers {
+		out = append(out, append([]float64(nil), l.W...), append([]float64(nil), l.B...))
+	}
+	return out
+}
+
+func (m *Model) restore(snap [][]float64) {
+	for i, l := range m.layers {
+		copy(l.W, snap[2*i])
+		copy(l.B, snap[2*i+1])
+	}
+}

@@ -1,0 +1,454 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a COUNT(*) SQL query of the paper's query class.
+//
+// Supported grammar (keywords are case-insensitive):
+//
+//	SELECT count(*) FROM t1 [, t2 ...]
+//	[WHERE <boolean expression over simple and join predicates>]
+//	[GROUP BY a1 [, a2 ...]] [;]
+//
+// Join predicates (column = column) may appear only in the top-level
+// conjunction of the WHERE clause, mirroring the paper's assumption that
+// tables are joined along key/foreign-key relationships while selections
+// carry the AND/OR structure.
+//
+// Literals must be integers or strings; decimal attributes are expected to
+// be fixed-point scaled at load time (see package table).
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests and static
+// workload definitions.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// expectKeyword consumes an identifier token equal (case-insensitively) to kw.
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("sqlparse: expected %s, got %s at offset %d", strings.ToUpper(kw), t, t.pos)
+	}
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("sqlparse: expected %s, got %s at offset %d", what, t, t.pos)
+	}
+	return t, nil
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	for _, kw := range []string{"select", "count"} {
+		if err := p.expectKeyword(kw); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokStar, "*"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+
+	q := &Query{}
+	for {
+		t, err := p.expect(tokIdent, "table name")
+		if err != nil {
+			return nil, err
+		}
+		q.Tables = append(q.Tables, t.text)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+
+	if p.peekKeyword("where") {
+		p.next()
+		expr, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		where, joins, err := splitJoins(expr)
+		if err != nil {
+			return nil, err
+		}
+		q.Where = where
+		q.Joins = joins
+	}
+
+	if p.peekKeyword("group") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			name, err := p.parseColumnName()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, name)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+
+	if p.peek().kind == tokSemi {
+		p.next()
+	}
+	if !p.atEOF() {
+		t := p.peek()
+		return nil, fmt.Errorf("sqlparse: trailing input starting with %s at offset %d", t, t.pos)
+	}
+	if err := validateJoins(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Expr{left}
+	for p.peekKeyword("or") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	return NewOr(kids...), nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Expr{left}
+	for p.peekKeyword("and") {
+		p.next()
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	return NewAnd(kids...), nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	if p.peek().kind == tokLParen {
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseComparison()
+}
+
+// operand is a comparison operand: either a column reference or a literal.
+type operand struct {
+	col   string // non-empty for column references
+	val   int64
+	str   *string
+	isLit bool
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if p.peekKeyword("like") {
+		return p.parseLike(left)
+	}
+	opTok, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	op, err := parseOp(opTok.text)
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+
+	switch {
+	case !left.isLit && right.isLit:
+		return &Pred{Attr: left.col, Op: op, Val: right.val, Str: right.str}, nil
+	case left.isLit && !right.isLit:
+		// Normalize "5 < A" to "A > 5": swap operands and mirror the
+		// operator. = and <> are symmetric.
+		return &Pred{Attr: right.col, Op: mirror(op), Val: left.val, Str: left.str}, nil
+	case !left.isLit && !right.isLit:
+		if op != OpEq {
+			return nil, fmt.Errorf("sqlparse: column-to-column comparison %s %s %s must use =", left.col, op, right.col)
+		}
+		// A join leaf, encoded as a Pred with a sentinel Str carrying the
+		// right column; splitJoins lifts it out of the expression tree.
+		rc := joinSentinel + right.col
+		return &Pred{Attr: left.col, Op: OpEq, Str: &rc}, nil
+	default:
+		return nil, fmt.Errorf("sqlparse: literal-to-literal comparison near offset %d", opTok.pos)
+	}
+}
+
+// parseLike parses "column LIKE 'prefix%'" — the string-prefix pattern of
+// Section 6. Only a single trailing % wildcard is supported; anything wider
+// (leading %, _, infix %) is outside the featurizable class and rejected.
+func (p *parser) parseLike(left operand) (Expr, error) {
+	likeTok := p.next() // the LIKE keyword
+	if left.isLit {
+		return nil, fmt.Errorf("sqlparse: LIKE requires a column on the left at offset %d", likeTok.pos)
+	}
+	t, err := p.expect(tokString, "string pattern after LIKE")
+	if err != nil {
+		return nil, err
+	}
+	pat := t.text
+	if len(pat) == 0 || pat[len(pat)-1] != '%' {
+		return nil, fmt.Errorf("sqlparse: LIKE pattern %q must end with %% (prefix patterns only)", pat)
+	}
+	prefix := pat[:len(pat)-1]
+	for i := 0; i < len(prefix); i++ {
+		if prefix[i] == '%' || prefix[i] == '_' {
+			return nil, fmt.Errorf("sqlparse: LIKE pattern %q: only a single trailing %% wildcard is supported", pat)
+		}
+	}
+	return &Pred{Attr: left.col, Op: OpGe, Str: &prefix, Like: true}, nil
+}
+
+func (p *parser) parseOperand() (operand, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			return operand{}, fmt.Errorf("sqlparse: decimal literal %q at offset %d: decimal attributes must be fixed-point scaled at load time", t.text, t.pos)
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return operand{}, fmt.Errorf("sqlparse: bad integer %q at offset %d: %w", t.text, t.pos, err)
+		}
+		return operand{val: v, isLit: true}, nil
+	case tokString:
+		p.next()
+		s := t.text
+		return operand{str: &s, isLit: true}, nil
+	case tokIdent:
+		name, err := p.parseColumnName()
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{col: name}, nil
+	}
+	return operand{}, fmt.Errorf("sqlparse: expected operand, got %s at offset %d", t, t.pos)
+}
+
+// parseColumnName parses "col" or "table.col".
+func (p *parser) parseColumnName() (string, error) {
+	t, err := p.expect(tokIdent, "column name")
+	if err != nil {
+		return "", err
+	}
+	name := t.text
+	if p.peek().kind == tokDot {
+		p.next()
+		t2, err := p.expect(tokIdent, "column name after '.'")
+		if err != nil {
+			return "", err
+		}
+		name = name + "." + t2.text
+	}
+	return name, nil
+}
+
+func parseOp(text string) (CmpOp, error) {
+	switch text {
+	case "=":
+		return OpEq, nil
+	case "<>", "!=":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	}
+	return 0, fmt.Errorf("sqlparse: unknown operator %q", text)
+}
+
+// mirror flips an operator's direction for operand swapping.
+func mirror(op CmpOp) CmpOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	return op // = and <> are symmetric
+}
+
+// joinSentinel marks a Pred whose Str field carries the right-hand column of
+// a column = column comparison. Such leaves never escape this package.
+const joinSentinel = "\x00join:"
+
+// splitJoins removes join leaves from the top-level conjunction of expr and
+// returns the remaining selection expression plus the join predicates. A
+// join leaf anywhere else (under OR, or nested) is an error: the paper's
+// query class joins along key/foreign-key edges unconditionally.
+func splitJoins(expr Expr) (Expr, []JoinPred, error) {
+	var joins []JoinPred
+	var keep []Expr
+	for _, kid := range Conjuncts(expr) {
+		if jp, ok := asJoinLeaf(kid); ok {
+			joins = append(joins, jp)
+			continue
+		}
+		if err := rejectJoinLeaves(kid); err != nil {
+			return nil, nil, err
+		}
+		keep = append(keep, kid)
+	}
+	return NewAnd(keep...), joins, nil
+}
+
+func asJoinLeaf(e Expr) (JoinPred, bool) {
+	p, ok := e.(*Pred)
+	if !ok || p.Str == nil || !strings.HasPrefix(*p.Str, joinSentinel) {
+		return JoinPred{}, false
+	}
+	right := strings.TrimPrefix(*p.Str, joinSentinel)
+	lt, lc := splitQualified(p.Attr)
+	rt, rc := splitQualified(right)
+	return JoinPred{LeftTable: lt, LeftCol: lc, RightTable: rt, RightCol: rc}, true
+}
+
+func rejectJoinLeaves(e Expr) error {
+	switch n := e.(type) {
+	case *Pred:
+		if n.Str != nil && strings.HasPrefix(*n.Str, joinSentinel) {
+			return fmt.Errorf("sqlparse: join predicate %s = %s may only appear in the top-level conjunction",
+				n.Attr, strings.TrimPrefix(*n.Str, joinSentinel))
+		}
+	case *And:
+		for _, k := range n.Kids {
+			if err := rejectJoinLeaves(k); err != nil {
+				return err
+			}
+		}
+	case *Or:
+		for _, k := range n.Kids {
+			if err := rejectJoinLeaves(k); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// splitQualified splits "table.col" into its parts; an unqualified name
+// yields an empty table.
+func splitQualified(name string) (tbl, col string) {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return "", name
+}
+
+// validateJoins checks that every join predicate references tables in the
+// FROM list (when qualified) and that multi-table queries qualify their
+// selection attributes.
+func validateJoins(q *Query) error {
+	inFrom := make(map[string]bool, len(q.Tables))
+	for _, t := range q.Tables {
+		inFrom[t] = true
+	}
+	for _, j := range q.Joins {
+		for _, t := range []string{j.LeftTable, j.RightTable} {
+			if t == "" {
+				return fmt.Errorf("sqlparse: join predicate %s must use qualified column names", j)
+			}
+			if !inFrom[t] {
+				return fmt.Errorf("sqlparse: join predicate %s references table %q not in FROM", j, t)
+			}
+		}
+	}
+	if len(q.Tables) > 1 && q.Where != nil {
+		for _, p := range CollectPreds(q.Where) {
+			tbl, _ := splitQualified(p.Attr)
+			if tbl == "" {
+				return fmt.Errorf("sqlparse: attribute %q must be table-qualified in a multi-table query", p.Attr)
+			}
+			if !inFrom[tbl] {
+				return fmt.Errorf("sqlparse: attribute %q references table not in FROM", p.Attr)
+			}
+		}
+	}
+	return nil
+}
