@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race check fmt fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-merge gate: static analysis plus the full test suite under
+# the race detector. The resilience layer runs estimators on watched
+# goroutines, so race-cleanliness is a correctness property here, not a nicety.
+check: vet race
+
+fmt:
+	gofmt -l -w .
+
+# Explore the parser fuzz target (runs until interrupted).
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/sqlparse

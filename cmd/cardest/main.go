@@ -7,14 +7,22 @@
 //
 //	cardest [-qft conjunctive] [-model GB] [-train 2000] [-rows 20000]
 //	        [-entries 32] [-query "SELECT count(*) FROM forest WHERE ..."]
+//	        [-timeout 0] [-fallback]
 //
 // Without -query, the tool evaluates a held-out test workload and prints
 // the paper's q-error summary (mean, median, 99th percentile, max). The
 // workload style follows the QFT: mixed queries (AND + OR) for "complex",
 // conjunctive queries for everything else.
+//
+// -timeout bounds each estimation call; -fallback arms the graceful-
+// degradation chain (learned → sampling → independence → row-count
+// heuristic) so an estimate is always produced even when the learned model
+// fails or the deadline is spent. Either flag wraps the learned estimator in
+// the resilience layer (see internal/resilience).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +35,7 @@ import (
 	"qfe/internal/metrics"
 	"qfe/internal/ml/gb"
 	"qfe/internal/ml/nn"
+	"qfe/internal/resilience"
 	"qfe/internal/sqlparse"
 	"qfe/internal/table"
 	"qfe/internal/workload"
@@ -42,15 +51,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	save := flag.String("save", "", "write the trained estimator to this JSON file")
 	load := flag.String("load", "", "load a trained estimator from this JSON file instead of training")
+	timeout := flag.Duration("timeout", 0, "per-call estimation deadline (0 = none); implies the resilience wrapper")
+	fallback := flag.Bool("fallback", false, "degrade through sampling → independence → row-count when the learned model fails")
 	flag.Parse()
 
-	if err := run(*qft, *model, *trainN, *rows, *entries, *query, *seed, *save, *load); err != nil {
+	if err := run(*qft, *model, *trainN, *rows, *entries, *query, *seed, *save, *load, *timeout, *fallback); err != nil {
 		fmt.Fprintln(os.Stderr, "cardest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(qft, model string, trainN, rows, entries int, query string, seed int64, savePath, loadPath string) error {
+func run(qft, model string, trainN, rows, entries int, query string, seed int64, savePath, loadPath string, timeout time.Duration, fallback bool) error {
 	fmt.Printf("building forest dataset (%d rows)...\n", rows)
 	forest, err := dataset.Forest(dataset.ForestConfig{Rows: rows, QuantAttrs: 12, BinaryAttrs: 4, Seed: seed})
 	if err != nil {
@@ -86,6 +97,9 @@ func run(qft, model string, trainN, rows, entries int, query string, seed int64,
 		loc, err = estimator.LoadLocal(f)
 		if err != nil {
 			return err
+		}
+		if err := loc.ValidateSchema(db); err != nil {
+			return fmt.Errorf("loaded estimator from %s is incompatible with this database: %w", loadPath, err)
 		}
 		fmt.Printf("loaded %s from %s (%d models)\n", loc.Name(), loadPath, loc.NumModels())
 	} else {
@@ -124,6 +138,28 @@ func run(qft, model string, trainN, rows, entries int, query string, seed int64,
 		fmt.Printf("saved estimator to %s\n", savePath)
 	}
 
+	// -timeout / -fallback arm the resilience layer: the learned model is
+	// the first stage, cheaper baselines degrade behind it, and the
+	// row-count heuristic guarantees an answer.
+	var serving estimator.Estimator = loc
+	var resilient *resilience.Resilient
+	if timeout > 0 || fallback {
+		stages := []resilience.Stage{{Name: "learned", Est: loc}}
+		if fallback {
+			stages = append(stages,
+				resilience.Stage{Name: "sampling", Est: estimator.NewSampling(db, 0.001, seed)},
+				resilience.Stage{Name: "independence", Est: &estimator.Independence{DB: db}},
+			)
+		}
+		resilient = resilience.NewResilient(resilience.Config{
+			Timeout:    timeout,
+			LastResort: resilience.RowCount{DB: db},
+		}, stages...)
+		serving = resilient
+		fmt.Printf("resilience: %d-stage chain, timeout %v, last resort %s\n",
+			len(stages), timeout, resilience.RowCount{}.Name())
+	}
+
 	if query != "" {
 		q, err := sqlparse.Parse(query)
 		if err != nil {
@@ -132,9 +168,19 @@ func run(qft, model string, trainN, rows, entries int, query string, seed int64,
 		if err := exec.Bind(q, db); err != nil {
 			return err
 		}
-		est, err := loc.Estimate(q)
-		if err != nil {
-			return err
+		var est float64
+		if resilient != nil {
+			res := resilient.EstimateDetailed(context.Background(), q)
+			est = res.Estimate
+			for _, se := range res.Errors {
+				fmt.Printf("degraded:  stage %s failed: %v\n", se.Stage, se.Err)
+			}
+			fmt.Printf("served by: %s\n", res.Stage)
+		} else {
+			est, err = loc.Estimate(q)
+			if err != nil {
+				return err
+			}
 		}
 		truth, err := exec.Count(db, q)
 		if err != nil {
@@ -147,10 +193,16 @@ func run(qft, model string, trainN, rows, entries int, query string, seed int64,
 		return nil
 	}
 
-	sum, err := estimator.Summarize(loc, test)
+	sum, err := estimator.Summarize(serving, test)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("held-out evaluation over %d queries: %v\n", len(test), sum)
+	if resilient != nil {
+		for _, st := range resilient.Stats() {
+			fmt.Printf("stage %-12s breaker=%s served=%d failed=%d skipped=%d\n",
+				st.Name, st.State, st.Served, st.Failed, st.Skipped)
+		}
+	}
 	return nil
 }

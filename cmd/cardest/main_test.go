@@ -1,40 +1,115 @@
 package main
 
-import "testing"
+import (
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"qfe/internal/core"
+	"qfe/internal/estimator"
+	"qfe/internal/ml/gb"
+	"qfe/internal/table"
+	"qfe/internal/workload"
+)
 
 func TestRunWithSingleQuery(t *testing.T) {
 	err := run("conjunctive", "GB", 300, 2_000, 16,
-		"SELECT count(*) FROM forest WHERE A1 >= 2500 AND A1 <= 3200", 1, "", "")
+		"SELECT count(*) FROM forest WHERE A1 >= 2500 AND A1 <= 3200", 1, "", "", 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunHeldOutEvaluation(t *testing.T) {
-	if err := run("complex", "GB", 300, 2_000, 16, "", 2, "", ""); err != nil {
+	if err := run("complex", "GB", 300, 2_000, 16, "", 2, "", "", 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("nope", "GB", 100, 1_000, 16, "", 1, "", ""); err == nil {
+	if err := run("nope", "GB", 100, 1_000, 16, "", 1, "", "", 0, false); err == nil {
 		t.Error("unknown QFT accepted")
 	}
-	if err := run("conjunctive", "SVM", 100, 1_000, 16, "", 1, "", ""); err == nil {
+	if err := run("conjunctive", "SVM", 100, 1_000, 16, "", 1, "", "", 0, false); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if err := run("conjunctive", "GB", 100, 1_000, 16, "not sql", 1, "", ""); err == nil {
+	if err := run("conjunctive", "GB", 100, 1_000, 16, "not sql", 1, "", "", 0, false); err == nil {
 		t.Error("unparseable query accepted")
 	}
 }
 
 func TestRunSaveAndLoad(t *testing.T) {
 	path := t.TempDir() + "/model.json"
-	if err := run("conjunctive", "GB", 200, 1_500, 16, "", 3, path, ""); err != nil {
+	if err := run("conjunctive", "GB", 200, 1_500, 16, "", 3, path, "", 0, false); err != nil {
 		t.Fatal(err)
 	}
 	if err := run("conjunctive", "GB", 200, 1_500, 16,
-		"SELECT count(*) FROM forest WHERE A1 >= 2500", 3, "", path); err != nil {
+		"SELECT count(*) FROM forest WHERE A1 >= 2500", 3, "", path, 0, false); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWithFallbackAndTimeout(t *testing.T) {
+	// The resilient chain must serve both the single-query and the
+	// evaluation path; a generous deadline keeps the learned stage in play.
+	if err := run("conjunctive", "GB", 200, 1_500, 16,
+		"SELECT count(*) FROM forest WHERE A1 >= 2500", 4, "", "", 5*time.Second, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("conjunctive", "GB", 200, 1_500, 16, "", 4, "", "", 5*time.Second, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRejectsMismatchedSchema saves an estimator trained on a different
+// schema (table "meadow") and verifies that loading it against the forest
+// database fails at load time with a schema error, not deep inside
+// estimation.
+func TestRunRejectsMismatchedSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, 500)
+	for i := range vals {
+		vals[i] = rng.Int63n(100)
+	}
+	meadow := table.New("meadow")
+	meadow.MustAddColumn(table.NewColumn("B1", vals))
+	db := table.NewDB()
+	db.MustAdd(meadow)
+
+	set, err := workload.Conjunctive(meadow, workload.ConjConfig{Count: 120, MaxAttrs: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := estimator.NewLocal(db, estimator.LocalConfig{
+		QFT:          "conjunctive",
+		Opts:         core.Options{MaxEntriesPerAttr: 8},
+		NewRegressor: estimator.NewGBFactory(gb.DefaultConfig()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.Train(set); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/meadow.json"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.SaveJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	err = run("conjunctive", "GB", 100, 1_000, 8, "", 1, "", path, 0, false)
+	if err == nil {
+		t.Fatal("estimator trained on a different schema was accepted")
+	}
+	if !strings.Contains(err.Error(), "schema mismatch") {
+		t.Errorf("error does not name the schema mismatch: %v", err)
 	}
 }

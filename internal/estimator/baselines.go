@@ -1,8 +1,10 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"qfe/internal/exec"
 	"qfe/internal/sqlparse"
@@ -20,7 +22,13 @@ func (o *Oracle) Name() string { return "True cardinalities" }
 
 // Estimate implements Estimator by exact execution.
 func (o *Oracle) Estimate(q *sqlparse.Query) (float64, error) {
-	c, err := exec.Count(o.DB, q)
+	return o.EstimateCtx(context.Background(), q)
+}
+
+// EstimateCtx implements ContextEstimator: exact execution is the most
+// expensive "estimator" in the system, so it honors deadlines.
+func (o *Oracle) EstimateCtx(ctx context.Context, q *sqlparse.Query) (float64, error) {
+	c, err := exec.CountCtx(ctx, o.DB, q)
 	if err != nil {
 		return 0, err
 	}
@@ -83,7 +91,10 @@ type Sampling struct {
 	// Fraction is p; the paper uses 0.001 (0.1%).
 	Fraction float64
 	// Seed makes the per-query sampling deterministic for tests; each
-	// Estimate call advances the stream.
+	// Estimate call advances the stream. mu serializes calls so the
+	// estimator is safe for concurrent use (a deadline-enforcing wrapper
+	// may abandon a call whose scan is still running).
+	mu  sync.Mutex
 	rng *rand.Rand
 }
 
@@ -100,6 +111,14 @@ func (s *Sampling) Name() string { return "Sampling" }
 
 // Estimate implements Estimator.
 func (s *Sampling) Estimate(q *sqlparse.Query) (float64, error) {
+	return s.EstimateCtx(context.Background(), q)
+}
+
+// EstimateCtx implements ContextEstimator: the per-query table scan checks
+// for cancellation every few thousand rows.
+func (s *Sampling) EstimateCtx(ctx context.Context, q *sqlparse.Query) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(q.Tables) != 1 {
 		return 0, fmt.Errorf("estimator: sampling baseline supports single-table queries only")
 	}
@@ -111,6 +130,11 @@ func (s *Sampling) Estimate(q *sqlparse.Query) (float64, error) {
 	hits := 0
 	sampled := 0
 	for r := 0; r < n; r++ {
+		if r%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		if s.rng.Float64() >= s.Fraction {
 			continue
 		}

@@ -18,6 +18,7 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,6 +35,33 @@ type Estimator interface {
 	Name() string
 	// Estimate returns the estimated result cardinality of q.
 	Estimate(q *sqlparse.Query) (float64, error)
+}
+
+// ContextEstimator is an Estimator that additionally honors context
+// cancellation and deadlines. Estimators whose per-call work is non-trivial
+// (exact execution, row sampling, deep model inference) implement it so a
+// serving layer can bound estimation latency; cheap estimators need not.
+type ContextEstimator interface {
+	Estimator
+	// EstimateCtx is Estimate under a context: it returns ctx.Err() promptly
+	// once the context is cancelled or its deadline passes.
+	EstimateCtx(ctx context.Context, q *sqlparse.Query) (float64, error)
+}
+
+// EstimateWithContext estimates q with est under ctx: estimators that
+// implement ContextEstimator get the context threaded through; for plain
+// estimators the context is checked before the (uninterruptible) call. It is
+// the single dispatch point the engine and serving layers use, so adding
+// EstimateCtx to an estimator automatically makes it deadline-aware
+// everywhere.
+func EstimateWithContext(ctx context.Context, est Estimator, q *sqlparse.Query) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if ce, ok := est.(ContextEstimator); ok {
+		return ce.EstimateCtx(ctx, q)
+	}
+	return est.Estimate(q)
 }
 
 // Evaluate runs the estimator over a labeled query set and returns the

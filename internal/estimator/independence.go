@@ -2,6 +2,7 @@ package estimator
 
 import (
 	"fmt"
+	"sync"
 
 	"qfe/internal/sqlparse"
 	"qfe/internal/table"
@@ -29,6 +30,9 @@ type Independence struct {
 	// default_statistics_target is 100. Zero means 100.
 	Buckets int
 
+	// mu guards the lazily-built stats cache so the estimator is safe for
+	// concurrent use (e.g. behind a deadline-enforcing wrapper).
+	mu    sync.Mutex
 	stats map[string]*colStats
 }
 
@@ -196,6 +200,8 @@ const defaultRangeSel = 0.005
 
 // Estimate implements Estimator.
 func (ind *Independence) Estimate(q *sqlparse.Query) (float64, error) {
+	ind.mu.Lock()
+	defer ind.mu.Unlock()
 	perTable, err := splitConjunctsByTable(q)
 	if err != nil {
 		return 0, err

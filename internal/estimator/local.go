@@ -161,6 +161,33 @@ func (l *Local) Estimate(q *sqlparse.Query) (float64, error) {
 	return l.transform.inverse(lm.reg.Predict(vec)), nil
 }
 
+// ValidateSchema checks that the estimator's featurization metadata is
+// compatible with db: every table the estimator knows must exist, and every
+// featurized attribute must be a column of that table. A persisted estimator
+// trained on a different schema fails here with a descriptive error at load
+// time instead of failing (or panicking) deep inside estimation.
+func (l *Local) ValidateSchema(db *table.DB) error {
+	names := make([]string, 0, len(l.metas))
+	for name := range l.metas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := db.Table(name)
+		if t == nil {
+			return fmt.Errorf("estimator: schema mismatch: estimator was trained on table %q, which the database does not have (tables: %v)",
+				name, db.TableNames())
+		}
+		for _, a := range l.metas[name].Attrs {
+			if t.Column(a.Name) == nil {
+				return fmt.Errorf("estimator: schema mismatch: table %q has no column %q the estimator was trained on (columns: %v)",
+					name, a.Name, t.ColumnNames())
+			}
+		}
+	}
+	return nil
+}
+
 // NumModels returns the number of trained sub-schema models.
 func (l *Local) NumModels() int { return len(l.models) }
 

@@ -159,6 +159,12 @@ func unmarshalRegressor(r Regressor, payload json.RawMessage) error {
 		if err := json.Unmarshal(payload, &m); err != nil {
 			return err
 		}
+		// A wrong-kind or hand-damaged payload can unmarshal "successfully"
+		// into a structurally broken model (no trees, dangling child
+		// indices); reject it here rather than panic at estimation time.
+		if err := m.Validate(); err != nil {
+			return err
+		}
 		reg.model = &m
 		reg.Cfg = m.Cfg
 		return nil

@@ -2,6 +2,7 @@ package estimator
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -126,6 +127,105 @@ func TestLoadLocalErrors(t *testing.T) {
 	}
 	if _, err := LoadLocal(strings.NewReader(`{"format":1,"qft":"bogus","modelType":"GB"}`)); err == nil {
 		t.Error("unknown QFT accepted only at model build; must fail on use")
+	}
+}
+
+// savedGB trains a small GB-backed local and returns its serialized bytes.
+func savedGB(t *testing.T) []byte {
+	t.Helper()
+	e := env(t)
+	loc, err := NewLocal(e.db, LocalConfig{
+		QFT:          "conjunctive",
+		Opts:         core.Options{MaxEntriesPerAttr: 16, AttrSel: true},
+		NewRegressor: NewGBFactory(smallGB()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.Train(e.train[:400]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := loc.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadLocalRejectsTruncatedFile(t *testing.T) {
+	data := savedGB(t)
+	// A partial write (disk full, killed process) must fail loudly at every
+	// cut point, never yield a silently partial estimator.
+	for _, frac := range []float64{0.1, 0.5, 0.9, 0.99} {
+		cut := data[:int(float64(len(data))*frac)]
+		if _, err := LoadLocal(bytes.NewReader(cut)); err == nil {
+			t.Errorf("truncation to %d/%d bytes accepted", len(cut), len(data))
+		}
+	}
+}
+
+func TestLoadLocalRejectsWrongKindPayload(t *testing.T) {
+	// An NN weights file relabeled as GB unmarshals "successfully" into a
+	// gb.Model with zero trees and zero dim; structural validation must
+	// catch it.
+	e := env(t)
+	loc, err := NewLocal(e.db, LocalConfig{
+		QFT:          "range",
+		Opts:         core.Options{MaxEntriesPerAttr: 16, AttrSel: false},
+		NewRegressor: NewNNFactory(smallNN()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.Train(e.train[:400]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := loc.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	relabeled := strings.Replace(buf.String(), `"modelType":"NN"`, `"modelType":"GB"`, 1)
+	if relabeled == buf.String() {
+		t.Fatal("relabeling did not apply — saved format changed?")
+	}
+	if _, err := LoadLocal(strings.NewReader(relabeled)); err == nil {
+		t.Fatal("NN payload accepted as a GB model")
+	}
+}
+
+func TestLoadLocalRejectsCorruptedTreePayload(t *testing.T) {
+	data := savedGB(t)
+	var s savedLocal
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Models) == 0 {
+		t.Fatal("saved estimator has no models")
+	}
+	corruptions := []struct {
+		name    string
+		payload string
+	}{
+		{"no trees", `{"cfg":{},"base":1,"trees":[],"dim":3}`},
+		{"empty tree", `{"cfg":{},"base":1,"trees":[{"nodes":[]}],"dim":3}`},
+		{"dangling child index", `{"cfg":{},"base":1,"dim":3,"trees":[{"nodes":[{"f":0,"t":0.5,"l":7,"r":9}]}]}`},
+		{"self-loop child", `{"cfg":{},"base":1,"dim":3,"trees":[{"nodes":[{"f":0,"t":0.5,"l":0,"r":0}]}]}`},
+		{"feature out of range", `{"cfg":{},"base":1,"dim":3,"trees":[{"nodes":[{"f":12,"t":0.5,"l":1,"r":2},{"leaf":true,"v":1},{"leaf":true,"v":2}]}]}`},
+		{"zero dim", `{"cfg":{},"base":1,"dim":0,"trees":[{"nodes":[{"leaf":true,"v":1}]}]}`},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			damaged := s
+			damaged.Models = append([]savedSubSchema(nil), s.Models...)
+			damaged.Models[0] = savedSubSchema{Tables: s.Models[0].Tables, Payload: json.RawMessage(c.payload)}
+			out, err := json.Marshal(damaged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadLocal(bytes.NewReader(out)); err == nil {
+				t.Errorf("corrupted payload (%s) accepted", c.name)
+			}
+		})
 	}
 }
 

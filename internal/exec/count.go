@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"qfe/internal/sqlparse"
@@ -16,6 +17,16 @@ import (
 //
 // Queries with string literals must be Bind-ed first.
 func Count(db *table.DB, q *sqlparse.Query) (int64, error) {
+	return CountCtx(context.Background(), db, q)
+}
+
+// CountCtx is Count under a context: cancellation is checked before each
+// per-table evaluation step, so a deadline bounds the work at table
+// granularity rather than letting a large join run to completion.
+func CountCtx(ctx context.Context, db *table.DB, q *sqlparse.Query) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if len(q.Tables) == 0 {
 		return 0, fmt.Errorf("exec: query has no tables")
 	}
@@ -30,7 +41,7 @@ func Count(db *table.DB, q *sqlparse.Query) (int64, error) {
 		}
 		return int64(bm.Count()), nil
 	}
-	return countJoin(db, q)
+	return countJoin(ctx, db, q)
 }
 
 // perTableFilters splits the top-level conjunction of q.Where into
@@ -122,7 +133,7 @@ func buildJoinTree(q *sqlparse.Query) (*joinTreeNode, error) {
 // parent a map from join-key value to the number of join-result tuples its
 // subtree contributes for that key; the root sums the products over its
 // qualifying rows.
-func countJoin(db *table.DB, q *sqlparse.Query) (int64, error) {
+func countJoin(ctx context.Context, db *table.DB, q *sqlparse.Query) (int64, error) {
 	filters, err := perTableFilters(q)
 	if err != nil {
 		return 0, err
@@ -138,6 +149,9 @@ func countJoin(db *table.DB, q *sqlparse.Query) (int64, error) {
 	// subtreeMults returns, per qualifying row of node's table, the product
 	// of the children's multiplicities (0 rows are skipped via callback).
 	rowMults := func(node *joinTreeNode, visit func(row int, mult int64)) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		t := db.Table(node.tbl)
 		if t == nil {
 			return fmt.Errorf("exec: unknown table %q", node.tbl)

@@ -22,13 +22,23 @@ import (
 // Following the paper's convention, both inputs are clamped to be >= 1 before
 // the ratio is taken: the evaluation considers only queries with non-empty
 // results and forces all estimates to be at least one, so the q-error is
-// always defined and >= 1.
+// always defined and >= 1. The clamp also absorbs degenerate inputs an
+// unhealthy estimator can emit — NaN, zero, and negative values all clamp to
+// 1 — so aggregates over a workload never poison on a single bad estimate. A
+// +Inf input stays +Inf, yielding an infinite q-error: an unboundedly wrong
+// estimate should dominate a summary, not vanish from it.
 func QError(truth, estimate float64) float64 {
-	if truth < 1 {
+	// !(x >= 1) instead of x < 1: the negated form is true for NaN too.
+	if !(truth >= 1) {
 		truth = 1
 	}
-	if estimate < 1 {
+	if !(estimate >= 1) {
 		estimate = 1
+	}
+	// Inf/Inf is NaN; with both inputs infinite there is no information
+	// about the deviation, so report the worst case rather than poison.
+	if math.IsInf(truth, 1) && math.IsInf(estimate, 1) {
+		return math.Inf(1)
 	}
 	if truth > estimate {
 		return truth / estimate

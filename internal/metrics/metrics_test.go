@@ -19,6 +19,13 @@ func TestQErrorBasics(t *testing.T) {
 		{"estimate clamped to 1", 10, 0, 10},
 		{"both clamped", 0, 0, 1},
 		{"large ratio", 1, 1e6, 1e6},
+		{"negative truth clamped", -50, 10, 10},
+		{"negative estimate clamped", 10, -50, 10},
+		{"nan truth clamped", math.NaN(), 10, 10},
+		{"nan estimate clamped", 10, math.NaN(), 10},
+		{"both nan clamped", math.NaN(), math.NaN(), 1},
+		{"inf estimate dominates", 10, math.Inf(1), math.Inf(1)},
+		{"negative inf clamped", 10, math.Inf(-1), 10},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -209,5 +216,25 @@ func TestSummaryString(t *testing.T) {
 	b := Boxplot([]float64{1, 2})
 	if got := b.String(); got == "" {
 		t.Error("BoxplotStats.String() is empty")
+	}
+}
+
+func TestQErrorNeverNaN(t *testing.T) {
+	// Whatever garbage an unhealthy estimator emits, the q-error must stay a
+	// usable number (>= 1, possibly +Inf) so workload summaries never poison.
+	f := func(a, b float64) bool {
+		q := QError(a, b)
+		return !math.IsNaN(q) && q >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -1} {
+		for _, w := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -1, 10} {
+			q := QError(v, w)
+			if math.IsNaN(q) || q < 1 {
+				t.Errorf("QError(%v, %v) = %v", v, w, q)
+			}
+		}
 	}
 }

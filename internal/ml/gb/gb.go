@@ -235,6 +235,48 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	return json.Unmarshal(data, (*alias)(m))
 }
 
+// Validate checks the structural invariants a deserialized model must hold
+// before Predict may run on it. The builder appends children after their
+// parent, so every child index must exceed its parent's — together with the
+// in-range checks this guarantees Predict terminates and never indexes out
+// of bounds, even on hand-edited or corrupted files.
+func (m *Model) Validate() error {
+	if m.Dim < 1 {
+		return fmt.Errorf("gb: model dim %d, want >= 1", m.Dim)
+	}
+	if len(m.Trees) == 0 {
+		return fmt.Errorf("gb: model has no trees")
+	}
+	if math.IsNaN(m.Base) || math.IsInf(m.Base, 0) {
+		return fmt.Errorf("gb: base prediction %v is not finite", m.Base)
+	}
+	for ti, t := range m.Trees {
+		if t == nil || len(t.Nodes) == 0 {
+			return fmt.Errorf("gb: tree %d is empty", ti)
+		}
+		for ni, n := range t.Nodes {
+			if n.Leaf {
+				if math.IsNaN(n.Value) || math.IsInf(n.Value, 0) {
+					return fmt.Errorf("gb: tree %d node %d: leaf value %v is not finite", ti, ni, n.Value)
+				}
+				continue
+			}
+			if n.Feature < 0 || n.Feature >= m.Dim {
+				return fmt.Errorf("gb: tree %d node %d: feature %d out of range [0, %d)", ti, ni, n.Feature, m.Dim)
+			}
+			if math.IsNaN(n.Threshold) {
+				return fmt.Errorf("gb: tree %d node %d: NaN threshold", ti, ni)
+			}
+			for _, child := range []int32{n.Left, n.Right} {
+				if child <= int32(ni) || int(child) >= len(t.Nodes) {
+					return fmt.Errorf("gb: tree %d node %d: child index %d out of range (%d, %d)", ti, ni, child, ni, len(t.Nodes))
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // sampleInts draws k distinct ints from [0, n) via partial Fisher-Yates,
 // returned sorted-free (order is random but deterministic under the rng).
 func sampleInts(rng *rand.Rand, n, k int) []int {

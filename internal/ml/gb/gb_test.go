@@ -300,3 +300,66 @@ func TestSampleInts(t *testing.T) {
 		t.Errorf("oversized k should clamp to n; got %v", got)
 	}
 }
+
+func TestValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X, y := makeRegression(rng, 200, 3)
+	cfg := DefaultConfig()
+	cfg.NumTrees = 5
+	m, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("trained model fails validation: %v", err)
+	}
+
+	leaf := func(v float64) *tree { return &tree{Nodes: []node{{Leaf: true, Value: v}}} }
+	bad := []struct {
+		name string
+		m    Model
+	}{
+		{"zero dim", Model{Dim: 0, Trees: []*tree{leaf(1)}}},
+		{"no trees", Model{Dim: 1}},
+		{"nil tree", Model{Dim: 1, Trees: []*tree{nil}}},
+		{"empty tree", Model{Dim: 1, Trees: []*tree{{}}}},
+		{"nan base", Model{Dim: 1, Base: math.NaN(), Trees: []*tree{leaf(1)}}},
+		{"nan leaf", Model{Dim: 1, Trees: []*tree{leaf(math.NaN())}}},
+		{"inf leaf", Model{Dim: 1, Trees: []*tree{leaf(math.Inf(1))}}},
+		{"nan threshold", Model{Dim: 1, Trees: []*tree{{Nodes: []node{
+			{Feature: 0, Threshold: math.NaN(), Left: 1, Right: 2}, {Leaf: true}, {Leaf: true}}}}}},
+		{"feature out of range", Model{Dim: 1, Trees: []*tree{{Nodes: []node{
+			{Feature: 3, Threshold: 0, Left: 1, Right: 2}, {Leaf: true}, {Leaf: true}}}}}},
+		{"child before parent", Model{Dim: 1, Trees: []*tree{{Nodes: []node{
+			{Leaf: true}, {Feature: 0, Left: 0, Right: 2}, {Leaf: true}}}}}},
+		{"child out of range", Model{Dim: 1, Trees: []*tree{{Nodes: []node{
+			{Feature: 0, Left: 1, Right: 5}, {Leaf: true}}}}}},
+	}
+	for _, b := range bad {
+		if err := b.m.Validate(); err == nil {
+			t.Errorf("%s: validated", b.name)
+		}
+	}
+}
+
+func TestValidateSurvivesJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	X, y := makeRegression(rng, 150, 2)
+	cfg := DefaultConfig()
+	cfg.NumTrees = 3
+	m, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped model fails validation: %v", err)
+	}
+}

@@ -1,0 +1,294 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"qfe/internal/resilience/faultinject"
+)
+
+// This file is the fault-injection acceptance suite: under injected
+// error/latency/panic/NaN faults at every chain stage, Resilient must always
+// return a finite estimate >= 1 within the deadline and never propagate a
+// panic; the circuit breaker must open after the configured failure
+// threshold and recover via half-open probes. Everything is driven from
+// fixed seeds, so a failure here reproduces exactly.
+
+// buildFaultyChain wires a three-stage chain (each stage a fault-injected
+// constant estimator) with a row-count last resort and instant retry sleeps.
+func buildFaultyChain(cfg faultinject.Config, chainCfg Config) (*Resilient, []*faultinject.Injector) {
+	injectors := []*faultinject.Injector{
+		faultinject.New(Constant{Value: 1000}, cfg),
+		faultinject.New(Constant{Value: 500}, withSeed(cfg, cfg.Seed+1)),
+		faultinject.New(Constant{Value: 250}, withSeed(cfg, cfg.Seed+2)),
+	}
+	if chainCfg.Sleep == nil {
+		chainCfg.Sleep = noSleep
+	}
+	if chainCfg.LastResort == nil {
+		chainCfg.LastResort = RowCount{}
+	}
+	r := NewResilient(chainCfg,
+		Stage{Name: "learned", Est: injectors[0]},
+		Stage{Name: "sampling", Est: injectors[1]},
+		Stage{Name: "independence", Est: injectors[2]},
+	)
+	return r, injectors
+}
+
+func withSeed(cfg faultinject.Config, seed int64) faultinject.Config {
+	cfg.Seed = seed
+	return cfg
+}
+
+// TestChainSurvivesMixedFaultStorm hammers the chain with every fault kind
+// at once at every stage and asserts the serving invariant on each call.
+func TestChainSurvivesMixedFaultStorm(t *testing.T) {
+	r, injectors := buildFaultyChain(faultinject.Config{
+		Seed:         12345,
+		PanicRate:    0.15,
+		ErrorRate:    0.25,
+		NaNRate:      0.10,
+		InfRate:      0.05,
+		NegativeRate: 0.05,
+	}, Config{
+		Retry:   RetryConfig{MaxAttempts: 2, JitterSeed: 9},
+		Breaker: BreakerConfig{FailureThreshold: 4, Cooldown: time.Millisecond, HalfOpenProbes: 1},
+	})
+	const calls = 1000
+	degraded := 0
+	for i := 0; i < calls; i++ {
+		res := r.EstimateDetailed(context.Background(), testQuery)
+		if math.IsNaN(res.Estimate) || math.IsInf(res.Estimate, 0) || res.Estimate < 1 {
+			t.Fatalf("call %d: unusable estimate %v (stage %s)", i, res.Estimate, res.Stage)
+		}
+		if res.Degraded {
+			degraded++
+		}
+	}
+	var faults int
+	for i, in := range injectors {
+		c := in.Counts()
+		faults += c.Panics + c.Errors + c.NaNs + c.Infs + c.Negatives
+		t.Logf("stage %d: %+v", i, c)
+	}
+	if faults == 0 {
+		t.Fatal("fault storm injected nothing — rates or seed are wrong")
+	}
+	if degraded == 0 {
+		t.Fatal("no call degraded under a 60 percent fault rate — chain is not actually degrading")
+	}
+	t.Logf("%d/%d calls degraded, %d faults injected", degraded, calls, faults)
+}
+
+// TestChainSurvivesEveryFaultKindAtFullRate pins each fault kind at rate 1.0
+// on every stage: the chain must ride the last resort and still answer.
+func TestChainSurvivesEveryFaultKindAtFullRate(t *testing.T) {
+	kinds := []struct {
+		name string
+		cfg  faultinject.Config
+	}{
+		{"error", faultinject.Config{Seed: 1, ErrorRate: 1}},
+		{"panic", faultinject.Config{Seed: 2, PanicRate: 1}},
+		{"nan", faultinject.Config{Seed: 3, NaNRate: 1}},
+		{"inf", faultinject.Config{Seed: 4, InfRate: 1}},
+		{"negative", faultinject.Config{Seed: 5, NegativeRate: 1}},
+	}
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			r, _ := buildFaultyChain(k.cfg, Config{
+				Breaker: BreakerConfig{FailureThreshold: 3, Cooldown: time.Hour},
+			})
+			for i := 0; i < 50; i++ {
+				res := r.EstimateDetailed(context.Background(), testQuery)
+				if math.IsNaN(res.Estimate) || math.IsInf(res.Estimate, 0) || res.Estimate < 1 {
+					t.Fatalf("call %d: unusable estimate %v", i, res.Estimate)
+				}
+				if res.Stage != "row-count heuristic" {
+					t.Fatalf("call %d: fault kind %s at rate 1.0 was served by %q", i, k.name, res.Stage)
+				}
+			}
+			// Every stage's breaker must have opened after the threshold
+			// and stayed open (cooldown is an hour).
+			for i, st := range r.Stats() {
+				if st.State != StateOpen {
+					t.Errorf("stage %d breaker state %v, want open", i, st.State)
+				}
+				if st.Failed != 3 {
+					t.Errorf("stage %d failed %d times before opening, want 3", i, st.Failed)
+				}
+			}
+		})
+	}
+}
+
+// TestChainMeetsDeadlineUnderLatencyFault injects latency far beyond the
+// deadline into every stage: the chain must come back quickly via the last
+// resort rather than waiting the injected latency out.
+func TestChainMeetsDeadlineUnderLatencyFault(t *testing.T) {
+	r, _ := buildFaultyChain(
+		faultinject.Config{Seed: 6, Latency: 5 * time.Second},
+		Config{Timeout: 50 * time.Millisecond},
+	)
+	start := time.Now()
+	res := r.EstimateDetailed(context.Background(), testQuery)
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline blown: %v elapsed against a 50ms budget", elapsed)
+	}
+	if math.IsNaN(res.Estimate) || math.IsInf(res.Estimate, 0) || res.Estimate < 1 {
+		t.Fatalf("unusable estimate %v", res.Estimate)
+	}
+	if res.Stage != "row-count heuristic" {
+		t.Fatalf("expected the last resort under full-latency faults, got %q", res.Stage)
+	}
+}
+
+// TestChainIsDeterministic runs the identical fault storm twice and demands
+// bit-identical per-call outcomes: same estimates, same serving stages, same
+// degradation pattern.
+func TestChainIsDeterministic(t *testing.T) {
+	type outcome struct {
+		est   float64
+		stage string
+		errs  int
+	}
+	runOnce := func() []outcome {
+		r, _ := buildFaultyChain(faultinject.Config{
+			Seed:         777,
+			PanicRate:    0.2,
+			ErrorRate:    0.2,
+			NaNRate:      0.1,
+			NegativeRate: 0.1,
+		}, Config{
+			Retry:   RetryConfig{MaxAttempts: 2, JitterSeed: 3},
+			Breaker: BreakerConfig{FailureThreshold: 3, Cooldown: time.Hour},
+		})
+		out := make([]outcome, 300)
+		for i := range out {
+			res := r.EstimateDetailed(context.Background(), testQuery)
+			out[i] = outcome{est: res.Estimate, stage: res.Stage, errs: len(res.Errors)}
+		}
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged across identical seeded runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestChainBreakerRecoversViaHalfOpenProbes scripts a stage outage and
+// recovery end to end inside the chain, on a fake clock: threshold failures
+// open the breaker, traffic is served degraded while it is open, and after
+// the cooldown the configured number of half-open probes restores the stage.
+func TestChainBreakerRecoversViaHalfOpenProbes(t *testing.T) {
+	clock := newFakeClock()
+	primary := failing(faultinject.ErrInjected)
+	r := NewResilient(Config{
+		Sleep: noSleep,
+		Breaker: BreakerConfig{
+			FailureThreshold: 2,
+			Cooldown:         30 * time.Second,
+			HalfOpenProbes:   2,
+			Clock:            clock.now,
+		},
+		LastResort: RowCount{},
+	},
+		Stage{Name: "primary", Est: primary},
+		Stage{Name: "backup", Est: healthy(40)},
+	)
+
+	// Outage: two failures open the breaker.
+	for i := 0; i < 2; i++ {
+		if res := r.EstimateDetailed(context.Background(), testQuery); res.Estimate != 40 {
+			t.Fatalf("outage call %d: %+v", i, res)
+		}
+	}
+	if st := r.Stats()[0]; st.State != StateOpen {
+		t.Fatalf("breaker state %v after threshold failures, want open", st.State)
+	}
+	// While open, the primary is skipped entirely.
+	before := primary.callCount()
+	for i := 0; i < 5; i++ {
+		if res := r.EstimateDetailed(context.Background(), testQuery); res.Estimate != 40 {
+			t.Fatalf("open-state call %d: %+v", i, res)
+		}
+	}
+	if primary.callCount() != before {
+		t.Fatal("open breaker did not short-circuit the primary")
+	}
+
+	// Recovery: the stage heals; cooldown elapses; two probes must succeed
+	// before the breaker closes.
+	primary.mu.Lock()
+	primary.fn = func(int) (float64, error) { return 80, nil }
+	primary.mu.Unlock()
+	clock.advance(31 * time.Second)
+
+	if res := r.EstimateDetailed(context.Background(), testQuery); res.Estimate != 80 || res.Degraded {
+		t.Fatalf("first probe: %+v", res)
+	}
+	if st := r.Stats()[0]; st.State != StateHalfOpen {
+		t.Fatalf("breaker state %v after first probe, want half-open", st.State)
+	}
+	if res := r.EstimateDetailed(context.Background(), testQuery); res.Estimate != 80 {
+		t.Fatalf("second probe: %+v", res)
+	}
+	if st := r.Stats()[0]; st.State != StateClosed {
+		t.Fatalf("breaker state %v after %d successful probes, want closed", st.State, 2)
+	}
+}
+
+// TestChainUnderConcurrentLoad drives the faulty chain from many goroutines
+// with -race in mind: the invariant must hold on every call and the internal
+// counters must stay consistent.
+func TestChainUnderConcurrentLoad(t *testing.T) {
+	r, _ := buildFaultyChain(faultinject.Config{
+		Seed:      99,
+		PanicRate: 0.2,
+		ErrorRate: 0.2,
+		NaNRate:   0.1,
+	}, Config{
+		Retry:   RetryConfig{MaxAttempts: 2, JitterSeed: 5},
+		Breaker: BreakerConfig{FailureThreshold: 5, Cooldown: time.Millisecond},
+	})
+	const workers, perWorker = 8, 100
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := 0; i < perWorker; i++ {
+				v, err := r.EstimateCtx(context.Background(), testQuery)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 1 {
+					errs <- &unusableErr{v}
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for _, st := range r.Stats() {
+		total += st.Served
+	}
+	if total > workers*perWorker {
+		t.Fatalf("stages served %d calls for %d requests", total, workers*perWorker)
+	}
+}
+
+type unusableErr struct{ v float64 }
+
+func (e *unusableErr) Error() string { return fmt.Sprintf("unusable estimate %v", e.v) }

@@ -1,0 +1,332 @@
+// Package resilience hardens the estimation pipeline for serving: it wraps
+// any estimator.Estimator in deadlines, panic isolation, retries, a circuit
+// breaker, and a graceful-degradation chain so that an estimate is *always*
+// returned — a failing learned model degrades the answer's quality, never
+// the system's availability.
+//
+// The degradation chain mirrors the paper's own framing of the learned
+// estimator as one option among cheaper baselines: a typical serving stack is
+//
+//	learned model → Bernoulli sampling → independence assumption → row-count heuristic
+//
+// where each stage is tried in order and the first valid (finite, >= 1)
+// estimate wins. Every stage is guarded by:
+//
+//   - a per-call deadline (context.Context), enforced even when the
+//     underlying estimator ignores contexts;
+//   - panic recovery, converting panics in model code into stage errors;
+//   - retry with capped exponential backoff and deterministic jitter for
+//     transient faults;
+//   - a circuit breaker with half-open probing, so a persistently failing
+//     stage stops being invoked on the hot path and is re-admitted only
+//     after it proves healthy again.
+//
+// The sibling package faultinject provides a seeded, deterministic
+// fault-injecting wrapper used by the test suite to prove the chain degrades
+// — never errors, never returns NaN/Inf/negative — under every injected
+// failure mode.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"qfe/internal/estimator"
+	"qfe/internal/sqlparse"
+)
+
+// ErrBreakerOpen is recorded in Result.Errors when a stage was skipped
+// because its circuit breaker was open.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// Stage is one link of the degradation chain.
+type Stage struct {
+	// Name identifies the stage in results and stats; empty means the
+	// estimator's own Name().
+	Name string
+	// Est is the wrapped estimator.
+	Est estimator.Estimator
+}
+
+// Config tunes a Resilient estimator. The zero value is usable.
+type Config struct {
+	// Timeout is the per-call estimation budget applied when the caller's
+	// context carries no deadline of its own. Zero means no implicit
+	// deadline.
+	Timeout time.Duration
+	// Breaker configures every stage's circuit breaker.
+	Breaker BreakerConfig
+	// Retry configures every stage's retry policy (default: no retries).
+	Retry RetryConfig
+	// LastResort produces the estimate when every stage fails or the
+	// deadline is spent. It should be total (never error); RowCount is the
+	// intended choice. Nil means a constant estimate of DefaultEstimate.
+	LastResort estimator.Estimator
+	// DefaultEstimate is returned if even LastResort fails. Default 1, the
+	// paper's minimum cardinality.
+	DefaultEstimate float64
+	// Sleep overrides the retry-backoff sleep for tests. Default sleeps on
+	// a real timer, honoring ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// stageState is a Stage plus its runtime guards and counters.
+type stageState struct {
+	name    string
+	est     estimator.Estimator
+	breaker *Breaker
+	backoff *backoff
+
+	mu      sync.Mutex
+	served  int // calls this stage answered
+	failed  int // calls this stage failed (after retries)
+	skipped int // calls skipped because the breaker was open
+}
+
+// StageStats is a snapshot of one stage's counters.
+type StageStats struct {
+	Name    string
+	State   BreakerState
+	Served  int
+	Failed  int
+	Skipped int
+}
+
+// Resilient chains estimators with graceful degradation. It implements
+// estimator.ContextEstimator and never returns an error or a non-finite
+// estimate: the worst case is the last-resort heuristic.
+type Resilient struct {
+	cfg        Config
+	stages     []*stageState
+	lastResort estimator.Estimator
+	sleep      func(ctx context.Context, d time.Duration) error
+}
+
+// NewResilient builds the degradation chain over stages, tried in order.
+func NewResilient(cfg Config, stages ...Stage) *Resilient {
+	if cfg.DefaultEstimate < 1 || math.IsNaN(cfg.DefaultEstimate) || math.IsInf(cfg.DefaultEstimate, 0) {
+		cfg.DefaultEstimate = 1
+	}
+	r := &Resilient{cfg: cfg, lastResort: cfg.LastResort, sleep: cfg.Sleep}
+	if r.lastResort == nil {
+		r.lastResort = Constant{Value: cfg.DefaultEstimate}
+	}
+	if r.sleep == nil {
+		r.sleep = sleepCtx
+	}
+	for i, s := range stages {
+		name := s.Name
+		if name == "" {
+			name = s.Est.Name()
+		}
+		// Each stage gets its own jitter stream so retry timing stays
+		// deterministic per stage regardless of the others' call volume.
+		rc := cfg.Retry
+		rc.JitterSeed += int64(i)
+		r.stages = append(r.stages, &stageState{
+			name:    name,
+			est:     s.Est,
+			breaker: NewBreaker(cfg.Breaker),
+			backoff: newBackoff(rc),
+		})
+	}
+	return r
+}
+
+// Name implements Estimator.
+func (r *Resilient) Name() string {
+	if len(r.stages) == 0 {
+		return "resilient(" + r.lastResort.Name() + ")"
+	}
+	return "resilient(" + r.stages[0].name + ")"
+}
+
+// StageError pairs a stage name with the error that made the chain move past
+// it.
+type StageError struct {
+	Stage string
+	Err   error
+}
+
+// Result is the full outcome of one resilient estimation.
+type Result struct {
+	// Estimate is always finite and >= 1.
+	Estimate float64
+	// Stage is the name of the stage (or last resort) that produced it.
+	Stage string
+	// Degraded is true when the first stage did not answer.
+	Degraded bool
+	// Errors lists, in chain order, the failures and skips encountered
+	// before the answer.
+	Errors []StageError
+}
+
+// Estimate implements Estimator (background context, so only the configured
+// Timeout applies). The returned error is always nil.
+func (r *Resilient) Estimate(q *sqlparse.Query) (float64, error) {
+	return r.EstimateCtx(context.Background(), q)
+}
+
+// EstimateCtx implements ContextEstimator. The returned error is always nil:
+// degradation replaces failure.
+func (r *Resilient) EstimateCtx(ctx context.Context, q *sqlparse.Query) (float64, error) {
+	res := r.EstimateDetailed(ctx, q)
+	return res.Estimate, nil
+}
+
+// EstimateDetailed runs the chain and reports which stage answered and what
+// failed along the way.
+func (r *Resilient) EstimateDetailed(ctx context.Context, q *sqlparse.Query) Result {
+	if r.cfg.Timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, r.cfg.Timeout)
+			defer cancel()
+		}
+	}
+	var res Result
+	for i, s := range r.stages {
+		if ctx.Err() != nil {
+			// Deadline spent: no stage may run; fall through to the last
+			// resort, which is synchronous and cheap.
+			res.Errors = append(res.Errors, StageError{s.name, ctx.Err()})
+			break
+		}
+		if !s.breaker.Allow() {
+			s.mu.Lock()
+			s.skipped++
+			s.mu.Unlock()
+			res.Errors = append(res.Errors, StageError{s.name, ErrBreakerOpen})
+			continue
+		}
+		v, err := r.attempt(ctx, s, q)
+		if err == nil {
+			s.mu.Lock()
+			s.served++
+			s.mu.Unlock()
+			res.Estimate = v
+			res.Stage = s.name
+			res.Degraded = i > 0
+			return res
+		}
+		s.mu.Lock()
+		s.failed++
+		s.mu.Unlock()
+		res.Errors = append(res.Errors, StageError{s.name, err})
+	}
+	res.Estimate = r.lastResortEstimate(q)
+	res.Stage = r.lastResort.Name()
+	res.Degraded = len(r.stages) > 0
+	return res
+}
+
+// attempt runs one stage with retries. Exactly one breaker outcome is
+// reported per call: Success on a valid estimate, Failure once every attempt
+// is exhausted (pairing the Allow that admitted the call).
+func (r *Resilient) attempt(ctx context.Context, s *stageState, q *sqlparse.Query) (float64, error) {
+	var lastErr error
+	for k := 0; k < s.backoff.cfg.MaxAttempts; k++ {
+		if k > 0 {
+			if err := r.sleep(ctx, s.backoff.delay(k)); err != nil {
+				lastErr = err
+				break
+			}
+		}
+		v, err := callGuarded(ctx, s.name, s.est, q)
+		if err == nil {
+			if validEstimate(v) {
+				s.breaker.Success()
+				if v < 1 {
+					v = 1
+				}
+				return v, nil
+			}
+			err = fmt.Errorf("resilience: stage %s returned invalid estimate %v", s.name, v)
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break // the deadline is spent; retrying cannot help
+		}
+	}
+	s.breaker.Failure()
+	return 0, lastErr
+}
+
+// callGuarded runs one estimate attempt with panic isolation and deadline
+// enforcement. The estimator runs in its own goroutine so a deadline is
+// honored even when the estimator ignores contexts; on timeout the goroutine
+// is abandoned (its eventual result goes to a buffered channel and is
+// dropped).
+func callGuarded(ctx context.Context, name string, est estimator.Estimator, q *sqlparse.Query) (float64, error) {
+	type outcome struct {
+		v   float64
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: fmt.Errorf("resilience: panic in stage %s: %v", name, p)}
+			}
+		}()
+		v, err := estimator.EstimateWithContext(ctx, est, q)
+		ch <- outcome{v: v, err: err}
+	}()
+	select {
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case o := <-ch:
+		return o.v, o.err
+	}
+}
+
+// lastResortEstimate is total: panics and invalid values collapse to the
+// configured default. It deliberately ignores the (possibly spent) deadline —
+// the heuristic is synchronous table-statistics arithmetic.
+func (r *Resilient) lastResortEstimate(q *sqlparse.Query) (v float64) {
+	defer func() {
+		if p := recover(); p != nil {
+			v = r.cfg.DefaultEstimate
+		}
+	}()
+	v, err := r.lastResort.Estimate(q)
+	if err != nil || !validEstimate(v) {
+		return r.cfg.DefaultEstimate
+	}
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Stats snapshots every stage's counters and breaker state, in chain order.
+func (r *Resilient) Stats() []StageStats {
+	out := make([]StageStats, len(r.stages))
+	for i, s := range r.stages {
+		s.mu.Lock()
+		out[i] = StageStats{
+			Name:    s.name,
+			State:   s.breaker.State(),
+			Served:  s.served,
+			Failed:  s.failed,
+			Skipped: s.skipped,
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Breaker exposes stage i's circuit breaker (chain order) for tests and
+// operational tooling.
+func (r *Resilient) Breaker(i int) *Breaker { return r.stages[i].breaker }
+
+// validEstimate reports whether v can be served: finite and non-negative.
+// (Sub-1 values are clamped to 1 by the callers, matching the paper's
+// minimum-cardinality convention.)
+func validEstimate(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}

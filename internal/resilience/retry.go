@@ -1,0 +1,91 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryConfig tunes per-stage retries for transient faults. The zero value
+// means "no retries" (a single attempt); NewResilient fills sensible backoff
+// defaults when MaxAttempts > 1.
+type RetryConfig struct {
+	// MaxAttempts is the total number of attempts per stage per call
+	// (1 = no retry). Default 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each subsequent
+	// retry doubles it. Default 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff. Default 100ms.
+	MaxDelay time.Duration
+	// JitterSeed seeds the deterministic jitter stream. The same seed and
+	// call sequence always produce the same delays, so retry timing is
+	// reproducible in tests.
+	JitterSeed int64
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 1
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 100 * time.Millisecond
+	}
+	return c
+}
+
+// backoff produces capped-exponential delays with deterministic jitter: the
+// delay before retry k (k >= 1) is min(Base*2^(k-1), Max) scaled by a factor
+// in [0.5, 1.0] drawn from the seeded stream ("equal jitter"). Jitter
+// decorrelates retry storms across concurrent callers while staying
+// reproducible from the seed.
+type backoff struct {
+	cfg RetryConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newBackoff(cfg RetryConfig) *backoff {
+	return &backoff{cfg: cfg.withDefaults(), rng: rand.New(rand.NewSource(cfg.JitterSeed))}
+}
+
+// delay returns the sleep before retry attempt k (1-based).
+func (b *backoff) delay(k int) time.Duration {
+	d := b.cfg.BaseDelay
+	for i := 1; i < k; i++ {
+		d *= 2
+		if d >= b.cfg.MaxDelay {
+			d = b.cfg.MaxDelay
+			break
+		}
+	}
+	if d > b.cfg.MaxDelay {
+		d = b.cfg.MaxDelay
+	}
+	b.mu.Lock()
+	f := 0.5 + 0.5*b.rng.Float64()
+	b.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// sleepCtx sleeps for d or until ctx is done, returning ctx.Err() in the
+// latter case. Resilient substitutes a fake in tests so fault-injection runs
+// never block on real timers.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

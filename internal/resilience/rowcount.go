@@ -1,0 +1,89 @@
+package resilience
+
+import (
+	"context"
+
+	"qfe/internal/sqlparse"
+	"qfe/internal/table"
+)
+
+// RowCount is the terminal stage of the degradation chain: a System-R-style
+// back-of-envelope estimate from table row counts alone. It is total — no
+// statistics, no model, no error path — so it can always answer, however
+// badly. Selectivities are the textbook magic constants: equality 0.005,
+// inequality/range 1/3, and each equi-join divides by the larger side
+// (the key/foreign-key assumption).
+type RowCount struct {
+	DB *table.DB
+	// DefaultRows stands in for tables the catalog does not know.
+	// Default 1000.
+	DefaultRows float64
+}
+
+// Name implements Estimator.
+func (rc RowCount) Name() string { return "row-count heuristic" }
+
+// Estimate implements Estimator. It never returns an error.
+func (rc RowCount) Estimate(q *sqlparse.Query) (float64, error) {
+	defRows := rc.DefaultRows
+	if defRows < 1 {
+		defRows = 1000
+	}
+	rows := func(name string) float64 {
+		if rc.DB != nil {
+			if t := rc.DB.Table(name); t != nil && t.NumRows() > 0 {
+				return float64(t.NumRows())
+			}
+		}
+		return defRows
+	}
+	est := 1.0
+	if q != nil {
+		for _, tn := range q.Tables {
+			est *= rows(tn)
+		}
+		for _, p := range sqlparse.CollectPreds(q.Where) {
+			if p.Op == sqlparse.OpEq {
+				est *= 0.005
+			} else {
+				est *= 1.0 / 3
+			}
+		}
+		for _, j := range q.Joins {
+			big := rows(j.LeftTable)
+			if r := rows(j.RightTable); r > big {
+				big = r
+			}
+			est /= big
+		}
+	}
+	if est < 1 || !validEstimate(est) {
+		est = 1
+	}
+	return est, nil
+}
+
+// EstimateCtx implements ContextEstimator trivially: the arithmetic is
+// cheaper than the context check, but implementing it keeps the estimator
+// usable anywhere a ContextEstimator is expected.
+func (rc RowCount) EstimateCtx(_ context.Context, q *sqlparse.Query) (float64, error) {
+	return rc.Estimate(q)
+}
+
+// Constant is an estimator that always answers Value — the degenerate last
+// resort when not even a catalog is available, and a convenient test stub.
+type Constant struct {
+	Value float64
+}
+
+// Name implements Estimator.
+func (c Constant) Name() string { return "constant" }
+
+// Estimate implements Estimator.
+func (c Constant) Estimate(*sqlparse.Query) (float64, error) {
+	v := c.Value
+	if v < 1 || !validEstimate(v) {
+		v = 1
+	}
+	return v, nil
+}

@@ -1,6 +1,7 @@
 package sqlparse
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -25,6 +26,9 @@ func FuzzParse(f *testing.F) {
 		"((((((((",
 		"",
 		"\x00\xff\xfe",
+		// Regression: deep parenthesis nesting must hit the depth limit,
+		// not the goroutine stack limit.
+		"SELECT count(*) FROM t WHERE " + strings.Repeat("(", 10000) + "a = 1" + strings.Repeat(")", 10000),
 	}
 	for _, s := range seeds {
 		f.Add(s)

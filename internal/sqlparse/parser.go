@@ -44,10 +44,16 @@ func MustParse(src string) *Query {
 	return q
 }
 
+// maxExprDepth bounds parenthesis nesting in WHERE expressions. The parser
+// is recursive-descent, so unchecked nesting converts attacker-sized input
+// into stack growth; real workload queries nest a handful of levels at most.
+const maxExprDepth = 100
+
 // parser is a recursive-descent parser over the token stream.
 type parser struct {
-	toks []token
-	pos  int
+	toks  []token
+	pos   int
+	depth int // current parenthesis nesting inside the WHERE expression
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -188,7 +194,11 @@ func (p *parser) parseAnd() (Expr, error) {
 }
 
 func (p *parser) parsePrimary() (Expr, error) {
-	if p.peek().kind == tokLParen {
+	if t := p.peek(); t.kind == tokLParen {
+		p.depth++
+		if p.depth > maxExprDepth {
+			return nil, fmt.Errorf("sqlparse: expression nesting exceeds %d levels at offset %d", maxExprDepth, t.pos)
+		}
 		p.next()
 		e, err := p.parseOr()
 		if err != nil {
@@ -197,6 +207,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if _, err := p.expect(tokRParen, ")"); err != nil {
 			return nil, err
 		}
+		p.depth--
 		return e, nil
 	}
 	return p.parseComparison()

@@ -288,3 +288,33 @@ func TestParseLikeErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseDepthLimit(t *testing.T) {
+	wrap := func(depth int) string {
+		return "SELECT count(*) FROM t WHERE " +
+			strings.Repeat("(", depth) + "a = 1" + strings.Repeat(")", depth)
+	}
+	// At the limit: accepted.
+	if _, err := Parse(wrap(maxExprDepth)); err != nil {
+		t.Fatalf("nesting at the limit rejected: %v", err)
+	}
+	// One past the limit: a clean error, not a stack overflow.
+	_, err := Parse(wrap(maxExprDepth + 1))
+	if err == nil || !strings.Contains(err.Error(), "nesting exceeds") {
+		t.Fatalf("err = %v, want nesting-depth error", err)
+	}
+	// Deep nesting that would previously exhaust the stack.
+	if _, err := Parse(wrap(200_000)); err == nil {
+		t.Fatal("200k-deep nesting accepted")
+	}
+	// Sibling groups do not accumulate depth: the counter tracks nesting,
+	// not total parenthesis count.
+	var b strings.Builder
+	b.WriteString("SELECT count(*) FROM t WHERE (a = 1)")
+	for i := 0; i < maxExprDepth+10; i++ {
+		b.WriteString(" AND (a = 1)")
+	}
+	if _, err := Parse(b.String()); err != nil {
+		t.Fatalf("sibling parenthesized groups rejected: %v", err)
+	}
+}
