@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fmt fuzz
+.PHONY: build test vet race check fmt fuzz bench
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,16 @@ race:
 
 # check is the pre-merge gate: static analysis plus the full test suite under
 # the race detector. The resilience layer runs estimators on watched
-# goroutines, so race-cleanliness is a correctness property here, not a nicety.
+# goroutines and labeling/training now fan out across worker pools
+# (internal/parallel, exec.CountManyWorkers, gb/nn Workers), so
+# race-cleanliness is a correctness property here, not a nicety.
 check: vet race
+
+# bench compares the sequential and parallel hot paths (labeling, GB
+# training, NN training) and writes BENCH_parallel.json. All three paths are
+# bit-identical across worker counts; the report is wall-clock only.
+bench:
+	$(GO) run ./cmd/parbench -out BENCH_parallel.json
 
 fmt:
 	gofmt -l -w .

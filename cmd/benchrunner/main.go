@@ -25,6 +25,7 @@ func main() {
 	scaleFlag := flag.String("scale", "", `scale profile: "smoke", "default", or "full" (default: $QFE_SCALE or "default")`)
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	listFlag := flag.Bool("list", false, "list experiments and exit")
+	workersFlag := flag.Int("workers", 0, "training/labeling goroutines for the learned models (0 = one per logical CPU); results are bit-identical for every value")
 	flag.Parse()
 
 	if *listFlag {
@@ -40,6 +41,7 @@ func main() {
 	scale := bench.CurrentScale()
 	fmt.Printf("# scale profile: %s\n\n", scale.Name)
 	env := bench.NewEnv(scale)
+	env.Workers = *workersFlag
 
 	var selected []bench.Experiment
 	if *expFlag == "" {

@@ -53,15 +53,16 @@ func main() {
 	load := flag.String("load", "", "load a trained estimator from this JSON file instead of training")
 	timeout := flag.Duration("timeout", 0, "per-call estimation deadline (0 = none); implies the resilience wrapper")
 	fallback := flag.Bool("fallback", false, "degrade through sampling → independence → row-count when the learned model fails")
+	workers := flag.Int("workers", 0, "training goroutines for the learned models (0 = one per logical CPU); trained models are bit-identical for every value")
 	flag.Parse()
 
-	if err := run(*qft, *model, *trainN, *rows, *entries, *query, *seed, *save, *load, *timeout, *fallback); err != nil {
+	if err := run(*qft, *model, *trainN, *rows, *entries, *query, *seed, *save, *load, *timeout, *fallback, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "cardest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(qft, model string, trainN, rows, entries int, query string, seed int64, savePath, loadPath string, timeout time.Duration, fallback bool) error {
+func run(qft, model string, trainN, rows, entries int, query string, seed int64, savePath, loadPath string, timeout time.Duration, fallback bool, workers int) error {
 	fmt.Printf("building forest dataset (%d rows)...\n", rows)
 	forest, err := dataset.Forest(dataset.ForestConfig{Rows: rows, QuantAttrs: 12, BinaryAttrs: 4, Seed: seed})
 	if err != nil {
@@ -103,7 +104,11 @@ func run(qft, model string, trainN, rows, entries int, query string, seed int64,
 		}
 		fmt.Printf("loaded %s from %s (%d models)\n", loc.Name(), loadPath, loc.NumModels())
 	} else {
-		factory, err := estimator.FactoryByName(model, gb.DefaultConfig(), nn.DefaultConfig())
+		gbCfg := gb.DefaultConfig()
+		gbCfg.Workers = workers
+		nnCfg := nn.DefaultConfig()
+		nnCfg.Workers = workers
+		factory, err := estimator.FactoryByName(model, gbCfg, nnCfg)
 		if err != nil {
 			return err
 		}

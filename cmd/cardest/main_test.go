@@ -16,37 +16,37 @@ import (
 
 func TestRunWithSingleQuery(t *testing.T) {
 	err := run("conjunctive", "GB", 300, 2_000, 16,
-		"SELECT count(*) FROM forest WHERE A1 >= 2500 AND A1 <= 3200", 1, "", "", 0, false)
+		"SELECT count(*) FROM forest WHERE A1 >= 2500 AND A1 <= 3200", 1, "", "", 0, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunHeldOutEvaluation(t *testing.T) {
-	if err := run("complex", "GB", 300, 2_000, 16, "", 2, "", "", 0, false); err != nil {
+	if err := run("complex", "GB", 300, 2_000, 16, "", 2, "", "", 0, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("nope", "GB", 100, 1_000, 16, "", 1, "", "", 0, false); err == nil {
+	if err := run("nope", "GB", 100, 1_000, 16, "", 1, "", "", 0, false, 0); err == nil {
 		t.Error("unknown QFT accepted")
 	}
-	if err := run("conjunctive", "SVM", 100, 1_000, 16, "", 1, "", "", 0, false); err == nil {
+	if err := run("conjunctive", "SVM", 100, 1_000, 16, "", 1, "", "", 0, false, 0); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if err := run("conjunctive", "GB", 100, 1_000, 16, "not sql", 1, "", "", 0, false); err == nil {
+	if err := run("conjunctive", "GB", 100, 1_000, 16, "not sql", 1, "", "", 0, false, 0); err == nil {
 		t.Error("unparseable query accepted")
 	}
 }
 
 func TestRunSaveAndLoad(t *testing.T) {
 	path := t.TempDir() + "/model.json"
-	if err := run("conjunctive", "GB", 200, 1_500, 16, "", 3, path, "", 0, false); err != nil {
+	if err := run("conjunctive", "GB", 200, 1_500, 16, "", 3, path, "", 0, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := run("conjunctive", "GB", 200, 1_500, 16,
-		"SELECT count(*) FROM forest WHERE A1 >= 2500", 3, "", path, 0, false); err != nil {
+		"SELECT count(*) FROM forest WHERE A1 >= 2500", 3, "", path, 0, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -55,10 +55,10 @@ func TestRunWithFallbackAndTimeout(t *testing.T) {
 	// The resilient chain must serve both the single-query and the
 	// evaluation path; a generous deadline keeps the learned stage in play.
 	if err := run("conjunctive", "GB", 200, 1_500, 16,
-		"SELECT count(*) FROM forest WHERE A1 >= 2500", 4, "", "", 5*time.Second, true); err != nil {
+		"SELECT count(*) FROM forest WHERE A1 >= 2500", 4, "", "", 5*time.Second, true, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("conjunctive", "GB", 200, 1_500, 16, "", 4, "", "", 5*time.Second, true); err != nil {
+	if err := run("conjunctive", "GB", 200, 1_500, 16, "", 4, "", "", 5*time.Second, true, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -105,7 +105,7 @@ func TestRunRejectsMismatchedSchema(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	err = run("conjunctive", "GB", 100, 1_000, 8, "", 1, "", path, 0, false)
+	err = run("conjunctive", "GB", 100, 1_000, 8, "", 1, "", path, 0, false, 0)
 	if err == nil {
 		t.Fatal("estimator trained on a different schema was accepted")
 	}

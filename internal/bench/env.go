@@ -23,6 +23,11 @@ import (
 type Env struct {
 	Scale Scale
 
+	// Workers bounds the training/labeling goroutines of the learned
+	// models (gb/nn); < 1 means one per logical CPU. Results are
+	// bit-identical for every value — only wall-clock changes.
+	Workers int
+
 	mu sync.Mutex
 
 	forest   *table.Table
@@ -198,6 +203,7 @@ func (e *Env) gbConfig() gb.Config {
 	cfg := gb.DefaultConfig()
 	cfg.NumTrees = e.Scale.GBTrees
 	cfg.Seed = 7
+	cfg.Workers = e.Workers
 	return cfg
 }
 
@@ -206,6 +212,7 @@ func (e *Env) nnConfig() nn.Config {
 	cfg.Hidden = append([]int(nil), e.Scale.NNHidden...)
 	cfg.Epochs = e.Scale.NNEpochs
 	cfg.Seed = 7
+	cfg.Workers = e.Workers
 	return cfg
 }
 

@@ -90,12 +90,16 @@ type Sampling struct {
 	DB *table.DB
 	// Fraction is p; the paper uses 0.001 (0.1%).
 	Fraction float64
-	// Seed makes the per-query sampling deterministic for tests; each
-	// Estimate call advances the stream. mu serializes calls so the
-	// estimator is safe for concurrent use (a deadline-enforcing wrapper
-	// may abandon a call whose scan is still running).
-	mu  sync.Mutex
-	rng *rand.Rand
+	// Seed makes the sampling deterministic: call i of the estimator draws
+	// its sample from an RNG derived from (Seed, i), so a fixed seed still
+	// yields a reproducible sequence of estimates. Deriving a fresh RNG per
+	// call keeps the table scan lock-free — mu only guards the call
+	// counter, so a slow or abandoned scan never blocks concurrent callers
+	// and their deadlines stay enforceable.
+	Seed int64
+
+	mu    sync.Mutex
+	calls int64
 }
 
 // NewSampling returns the baseline with the paper's 0.1% default.
@@ -103,7 +107,7 @@ func NewSampling(db *table.DB, fraction float64, seed int64) *Sampling {
 	if fraction <= 0 || fraction > 1 {
 		fraction = 0.001
 	}
-	return &Sampling{DB: db, Fraction: fraction, rng: rand.New(rand.NewSource(seed))}
+	return &Sampling{DB: db, Fraction: fraction, Seed: seed}
 }
 
 // Name implements Estimator.
@@ -115,10 +119,22 @@ func (s *Sampling) Estimate(q *sqlparse.Query) (float64, error) {
 }
 
 // EstimateCtx implements ContextEstimator: the per-query table scan checks
-// for cancellation every few thousand rows.
+// for cancellation every few thousand rows, and runs without holding any
+// lock, so concurrent calls proceed independently even while one scan is
+// slow or abandoned.
 func (s *Sampling) EstimateCtx(ctx context.Context, q *sqlparse.Query) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	// A short critical section derives this call's RNG stream; the scan
+	// itself is lock-free.
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	call := s.calls
+	s.calls++
+	s.mu.Unlock()
+	// SplitMix64-style odd-constant mixing decorrelates adjacent call
+	// streams under a shared seed.
+	rng := rand.New(rand.NewSource(s.Seed ^ (call+1)*-7046029254386353131))
 	if len(q.Tables) != 1 {
 		return 0, fmt.Errorf("estimator: sampling baseline supports single-table queries only")
 	}
@@ -135,7 +151,7 @@ func (s *Sampling) EstimateCtx(ctx context.Context, q *sqlparse.Query) (float64,
 				return 0, err
 			}
 		}
-		if s.rng.Float64() >= s.Fraction {
+		if rng.Float64() >= s.Fraction {
 			continue
 		}
 		sampled++

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -91,5 +93,30 @@ func BenchmarkCountJoin(b *testing.B) {
 		if _, err := Count(db, q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCountManyWorkers compares sequential labeling against the
+// parallel batch path (shared predicate-bitmap cache, one goroutine per
+// worker) on a 200-query workload. On multi-core hardware the parallel
+// variants should show near-linear speedup with bit-identical labels.
+func BenchmarkCountManyWorkers(b *testing.B) {
+	tbl := genTable(1, 100_000)
+	db := singleDB(tbl)
+	qs := genQueries(2, 200)
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=GOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := CountManyWorkers(ctx, db, qs, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

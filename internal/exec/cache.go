@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"sync"
+
+	"qfe/internal/sqlparse"
+	"qfe/internal/table"
+)
+
+// DefaultPredCacheBytes is the bitmap budget of a PredCache built with
+// NewPredCache(0): 16 MiB of bitmap words, enough for ~13k cached predicates
+// over a 100k-row table.
+const DefaultPredCacheBytes = 16 << 20
+
+// predKey identifies one bound simple predicate over one table. Generated
+// workloads reuse the same simple predicates on the same columns constantly
+// (anchored ranges, tiny-domain equalities), so this key has high hit rates
+// during batch labeling.
+type predKey struct {
+	tbl  string
+	attr string
+	op   sqlparse.CmpOp
+	val  int64
+}
+
+// PredCache memoizes the qualifying-row bitmap of simple predicates, keyed
+// by (table, attr, op, val). It turns the repeated column scans of batch
+// labeling into word-wise AND/OR over cached bitmaps.
+//
+// Cached bitmaps are shared and MUST be treated as read-only by callers;
+// EvalExprCached upholds this by cloning before any in-place combination.
+// The cache is safe for concurrent use: lookups and inserts run under a
+// short mutex, while bitmap construction itself runs outside the lock (two
+// racing workers may both compute a missing entry; one insert wins and both
+// results are identical, so determinism is unaffected).
+//
+// Eviction is FIFO over insertion order, triggered when the total size of
+// cached bitmap words exceeds the byte budget: labeling sweeps a workload
+// once, so recency tracking buys little over plain insertion order.
+type PredCache struct {
+	mu       sync.Mutex
+	entries  map[predKey]*table.Bitmap
+	fifo     []predKey
+	curBytes int
+	maxBytes int
+	hits     int64
+	misses   int64
+}
+
+// NewPredCache returns a cache bounded to maxBytes of bitmap payload;
+// maxBytes <= 0 selects DefaultPredCacheBytes.
+func NewPredCache(maxBytes int) *PredCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultPredCacheBytes
+	}
+	return &PredCache{entries: make(map[predKey]*table.Bitmap), maxBytes: maxBytes}
+}
+
+// Stats reports cumulative hit/miss counters and the current entry count.
+func (c *PredCache) Stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}
+
+// eval returns the (shared, read-only) bitmap for p over t, computing and
+// caching it on a miss.
+func (c *PredCache) eval(t *table.Table, p *sqlparse.Pred) (*table.Bitmap, error) {
+	if p.Str != nil {
+		// Unbound predicates are an error; let EvalPred produce it.
+		return EvalPred(t, p)
+	}
+	k := predKey{tbl: t.Name, attr: p.Attr, op: p.Op, val: p.Val}
+	c.mu.Lock()
+	if bm, ok := c.entries[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return bm, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	bm, err := EvalPred(t, p)
+	if err != nil {
+		return nil, err
+	}
+	size := 8 * ((bm.Len() + 63) / 64)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.entries[k]; ok {
+		// A racing worker inserted first; serve its copy so all callers
+		// share one bitmap.
+		return prev, nil
+	}
+	for c.curBytes+size > c.maxBytes && len(c.fifo) > 0 {
+		old := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		if victim, ok := c.entries[old]; ok {
+			c.curBytes -= 8 * ((victim.Len() + 63) / 64)
+			delete(c.entries, old)
+		}
+	}
+	if size <= c.maxBytes {
+		c.entries[k] = bm
+		c.fifo = append(c.fifo, k)
+		c.curBytes += size
+	}
+	return bm, nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"qfe/internal/parallel"
 	"qfe/internal/sqlparse"
 	"qfe/internal/table"
 )
@@ -24,6 +25,16 @@ func Count(db *table.DB, q *sqlparse.Query) (int64, error) {
 // per-table evaluation step, so a deadline bounds the work at table
 // granularity rather than letting a large join run to completion.
 func CountCtx(ctx context.Context, db *table.DB, q *sqlparse.Query) (int64, error) {
+	return CountCached(ctx, db, q, nil)
+}
+
+// CountCached is CountCtx with simple-predicate bitmaps served from cache
+// (nil disables caching). Workload generators and the batch labeler share
+// one cache across thousands of queries: generated workloads reuse the same
+// bound predicates on the same columns constantly, so memoized EvalPred
+// bitmaps turn repeated column scans into word-wise AND/OR. Counting is
+// exact either way — the cache changes cost, never results.
+func CountCached(ctx context.Context, db *table.DB, q *sqlparse.Query, cache *PredCache) (int64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
@@ -35,13 +46,13 @@ func CountCtx(ctx context.Context, db *table.DB, q *sqlparse.Query) (int64, erro
 		if t == nil {
 			return 0, fmt.Errorf("exec: unknown table %q", q.Tables[0])
 		}
-		bm, err := EvalExpr(t, q.Where)
+		bm, err := EvalExprCached(t, q.Where, cache)
 		if err != nil {
 			return 0, err
 		}
 		return int64(bm.Count()), nil
 	}
-	return countJoin(ctx, db, q)
+	return countJoin(ctx, db, q, cache)
 }
 
 // perTableFilters splits the top-level conjunction of q.Where into
@@ -133,7 +144,7 @@ func buildJoinTree(q *sqlparse.Query) (*joinTreeNode, error) {
 // parent a map from join-key value to the number of join-result tuples its
 // subtree contributes for that key; the root sums the products over its
 // qualifying rows.
-func countJoin(ctx context.Context, db *table.DB, q *sqlparse.Query) (int64, error) {
+func countJoin(ctx context.Context, db *table.DB, q *sqlparse.Query, cache *PredCache) (int64, error) {
 	filters, err := perTableFilters(q)
 	if err != nil {
 		return 0, err
@@ -156,7 +167,7 @@ func countJoin(ctx context.Context, db *table.DB, q *sqlparse.Query) (int64, err
 		if t == nil {
 			return fmt.Errorf("exec: unknown table %q", node.tbl)
 		}
-		bm, err := EvalExpr(t, filters[node.tbl])
+		bm, err := EvalExprCached(t, filters[node.tbl], cache)
 		if err != nil {
 			return err
 		}
@@ -218,16 +229,76 @@ func countJoin(ctx context.Context, db *table.DB, q *sqlparse.Query) (int64, err
 	return total, nil
 }
 
-// CountMany labels a batch of queries with their true cardinalities. It is
-// the workhorse behind workload labeling; queries must already be bound.
-func CountMany(db *table.DB, qs []*sqlparse.Query) ([]int64, error) {
+// QueryError reports the failure of one query inside a labeling batch,
+// carrying the query's index so callers can keep the labels that did
+// compute and resume or skip precisely.
+type QueryError struct {
+	// Index is the position of the failing query in the batch.
+	Index int
+	// Query is the failing query's SQL rendering.
+	Query string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("exec: query %d (%s): %v", e.Index, e.Query, e.Err)
+}
+
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// CountManyCtx labels a batch of queries with their true cardinalities
+// across one worker per logical CPU, sharing a per-predicate bitmap cache
+// between workers. It is the workhorse behind workload labeling — the step
+// the paper spends 3.5 days on (Section 5.5.2); queries must already be
+// bound.
+//
+// The returned slice always has len(qs): out[i] is query i's cardinality,
+// or -1 where query i failed. A non-nil error is a *QueryError describing
+// the failure with the smallest index — deterministic regardless of worker
+// scheduling, because every query is attempted even after another fails
+// (only context cancellation stops the batch early). Labels are
+// bit-identical to sequential execution: each query's count is exact and
+// independent, and parallelism never reorders per-query computation.
+func CountManyCtx(ctx context.Context, db *table.DB, qs []*sqlparse.Query) ([]int64, error) {
+	return CountManyWorkers(ctx, db, qs, 0)
+}
+
+// CountManyWorkers is CountManyCtx with an explicit worker count
+// (workers < 1 means GOMAXPROCS).
+func CountManyWorkers(ctx context.Context, db *table.DB, qs []*sqlparse.Query, workers int) ([]int64, error) {
 	out := make([]int64, len(qs))
-	for i, q := range qs {
-		c, err := Count(db, q)
+	errs := make([]error, len(qs))
+	cache := NewPredCache(0)
+	parallel.Do(len(qs), parallel.Workers(workers), func(i int) {
+		out[i] = -1
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		c, err := CountCached(ctx, db, qs[i], cache)
 		if err != nil {
-			return nil, fmt.Errorf("exec: query %d (%s): %w", i, q, err)
+			errs[i] = err
+			return
 		}
 		out[i] = c
+	})
+	for i, err := range errs {
+		if err != nil {
+			return out, &QueryError{Index: i, Query: qs[i].String(), Err: err}
+		}
+	}
+	return out, nil
+}
+
+// CountMany labels a batch of queries sequentially, preserving the original
+// all-or-nothing contract: the first failure discards the batch. New code
+// should prefer CountManyCtx, which parallelizes, keeps partial results,
+// and supports cancellation.
+func CountMany(db *table.DB, qs []*sqlparse.Query) ([]int64, error) {
+	out, err := CountManyWorkers(context.Background(), db, qs, 1)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -61,8 +61,7 @@ func bindExpr(expr sqlparse.Expr, db *table.DB, q *sqlparse.Query) (sqlparse.Exp
 		if n.Like {
 			return bindLikePred(n, col.Dict), nil
 		}
-		bindStringPred(n, col.Dict)
-		return n, nil
+		return bindStringPred(n, col.Dict), nil
 	case *sqlparse.And:
 		kids := make([]sqlparse.Expr, len(n.Kids))
 		for i, k := range n.Kids {
@@ -107,30 +106,34 @@ func bindLikePred(p *sqlparse.Pred, dict []string) sqlparse.Expr {
 	)
 }
 
-// bindStringPred rewrites p (whose Str is non-nil) into an integer-code
-// predicate against the sorted dictionary dict.
-func bindStringPred(p *sqlparse.Pred, dict []string) {
+// bindStringPred rewrites p (whose Str is non-nil) into an equivalent
+// integer-code predicate against the sorted dictionary dict. It returns a
+// fresh leaf and never mutates p: a Pred node may be shared across queries
+// (workload templates), and Bind runs concurrently with other queries'
+// evaluation under parallel labeling.
+func bindStringPred(p *sqlparse.Pred, dict []string) *sqlparse.Pred {
 	s := *p.Str
 	idx := sort.SearchStrings(dict, s)
 	found := idx < len(dict) && dict[idx] == s
-	p.Str = nil
+	bound := &sqlparse.Pred{Attr: p.Attr, Op: p.Op}
 	if found {
-		p.Val = int64(idx)
-		return
+		bound.Val = int64(idx)
+		return bound
 	}
 	out := int64(len(dict)) // a code no row carries
 	switch p.Op {
 	case sqlparse.OpEq:
-		p.Val = out // matches nothing
+		bound.Val = out // matches nothing
 	case sqlparse.OpNe:
-		p.Val = out // matches everything
+		bound.Val = out // matches everything
 	case sqlparse.OpLt, sqlparse.OpLe:
 		// codes < idx are exactly the strings < s (and <= s, since s itself
 		// is absent).
-		p.Op, p.Val = sqlparse.OpLt, int64(idx)
+		bound.Op, bound.Val = sqlparse.OpLt, int64(idx)
 	case sqlparse.OpGt, sqlparse.OpGe:
-		p.Op, p.Val = sqlparse.OpGe, int64(idx)
+		bound.Op, bound.Val = sqlparse.OpGe, int64(idx)
 	}
+	return bound
 }
 
 // resolveColumn finds the column a (possibly qualified) attribute refers to.
@@ -221,41 +224,70 @@ func EvalPred(t *table.Table, p *sqlparse.Pred) (*table.Bitmap, error) {
 }
 
 // EvalExpr evaluates a boolean selection expression over t and returns the
-// qualifying-row bitmap. A nil expression qualifies every row.
+// qualifying-row bitmap. A nil expression qualifies every row. The returned
+// bitmap is freshly allocated and owned by the caller.
 func EvalExpr(t *table.Table, expr sqlparse.Expr) (*table.Bitmap, error) {
+	bm, _, err := evalExpr(t, expr, nil)
+	return bm, err
+}
+
+// EvalExprCached is EvalExpr with leaf bitmaps served from cache (which may
+// be nil for the uncached path). The returned bitmap may be shared with the
+// cache and MUST be treated as read-only by the caller.
+func EvalExprCached(t *table.Table, expr sqlparse.Expr, cache *PredCache) (*table.Bitmap, error) {
+	bm, _, err := evalExpr(t, expr, cache)
+	return bm, err
+}
+
+// evalExpr is the shared evaluator core. It reports via owned whether the
+// returned bitmap is private to the caller (true) or shared with cache
+// (false); And/Or combination clones shared accumulators before mutating,
+// so cached bitmaps stay immutable.
+func evalExpr(t *table.Table, expr sqlparse.Expr, cache *PredCache) (bm *table.Bitmap, owned bool, err error) {
 	switch n := expr.(type) {
 	case nil:
-		return table.NewFullBitmap(t.NumRows()), nil
+		return table.NewFullBitmap(t.NumRows()), true, nil
 	case *sqlparse.Pred:
-		return EvalPred(t, n)
+		if cache != nil {
+			bm, err := cache.eval(t, n)
+			return bm, false, err
+		}
+		bm, err := EvalPred(t, n)
+		return bm, true, err
 	case *sqlparse.And:
-		acc, err := EvalExpr(t, n.Kids[0])
+		acc, owned, err := evalExpr(t, n.Kids[0], cache)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		for _, k := range n.Kids[1:] {
-			bm, err := EvalExpr(t, k)
+			bm, _, err := evalExpr(t, k, cache)
 			if err != nil {
-				return nil, err
+				return nil, false, err
+			}
+			if !owned {
+				acc, owned = acc.Clone(), true
 			}
 			acc.And(bm)
 		}
-		return acc, nil
+		return acc, owned, nil
 	case *sqlparse.Or:
-		acc, err := EvalExpr(t, n.Kids[0])
+		acc, owned, err := evalExpr(t, n.Kids[0], cache)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		for _, k := range n.Kids[1:] {
-			bm, err := EvalExpr(t, k)
+			bm, _, err := evalExpr(t, k, cache)
 			if err != nil {
-				return nil, err
+				return nil, false, err
+			}
+			if !owned {
+				acc, owned = acc.Clone(), true
 			}
 			acc.Or(bm)
 		}
-		return acc, nil
+		return acc, owned, nil
 	}
-	return nil, fmt.Errorf("exec: unknown expr %T", expr)
+	return nil, false, fmt.Errorf("exec: unknown expr %T", expr)
 }
 
 // Selectivity returns the fraction of t's rows qualifying expr.

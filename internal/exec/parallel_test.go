@@ -1,0 +1,244 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"qfe/internal/sqlparse"
+	"qfe/internal/table"
+)
+
+// genTable builds a randomized table large enough that parallel labeling
+// does real work, with a skewed low-cardinality column so predicates repeat
+// and the bitmap cache gets hits.
+func genTable(seed int64, rows int) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int64, rows)
+	b := make([]int64, rows)
+	c := make([]int64, rows)
+	for i := 0; i < rows; i++ {
+		a[i] = int64(rng.Intn(1000))
+		b[i] = int64(rng.Intn(10))
+		c[i] = int64(rng.Intn(2))
+	}
+	t := table.New("g")
+	t.MustAddColumn(table.NewColumn("a", a))
+	t.MustAddColumn(table.NewColumn("b", b))
+	t.MustAddColumn(table.NewColumn("c", c))
+	return t
+}
+
+// genQueries produces count random conjunctive/disjunctive queries over
+// genTable's schema, with heavy predicate reuse.
+func genQueries(seed int64, count int) []*sqlparse.Query {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]*sqlparse.Query, count)
+	for i := range qs {
+		lo := int64(rng.Intn(900))
+		hi := lo + int64(rng.Intn(100))
+		kids := []sqlparse.Expr{
+			&sqlparse.Pred{Attr: "a", Op: sqlparse.OpGe, Val: lo},
+			&sqlparse.Pred{Attr: "a", Op: sqlparse.OpLe, Val: hi},
+			&sqlparse.Pred{Attr: "b", Op: sqlparse.OpEq, Val: int64(rng.Intn(10))},
+		}
+		var where sqlparse.Expr = sqlparse.NewAnd(kids...)
+		if rng.Intn(3) == 0 {
+			where = sqlparse.NewOr(where, &sqlparse.Pred{Attr: "c", Op: sqlparse.OpEq, Val: int64(rng.Intn(2))})
+		}
+		qs[i] = &sqlparse.Query{Tables: []string{"g"}, Where: where}
+	}
+	return qs
+}
+
+// TestCountManyCtxMatchesSequential: the tentpole determinism guarantee —
+// parallel labeling with a shared bitmap cache produces bit-identical
+// labels to the sequential path, for several worker counts.
+func TestCountManyCtxMatchesSequential(t *testing.T) {
+	tbl := genTable(1, 20_000)
+	db := singleDB(tbl)
+	qs := genQueries(2, 300)
+
+	want, err := CountMany(db, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		got, err := CountManyWorkers(context.Background(), db, qs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: query %d labeled %d, sequential %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCountManyCtxPartialResults: a failing query must not discard the
+// labels already computed, and the reported error must carry the smallest
+// failing index regardless of scheduling.
+func TestCountManyCtxPartialResults(t *testing.T) {
+	tbl := genTable(3, 1000)
+	db := singleDB(tbl)
+	qs := genQueries(4, 50)
+	// Two bad queries; index 20 must win deterministically.
+	qs[20] = &sqlparse.Query{Tables: []string{"nosuch"}}
+	qs[40] = &sqlparse.Query{Tables: []string{"alsonot"}}
+
+	for _, workers := range []int{1, 4} {
+		got, err := CountManyWorkers(context.Background(), db, qs, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		var qe *QueryError
+		if !errors.As(err, &qe) {
+			t.Fatalf("workers=%d: error %T is not a *QueryError", workers, err)
+		}
+		if qe.Index != 20 {
+			t.Errorf("workers=%d: first error index = %d, want 20", workers, qe.Index)
+		}
+		if len(got) != len(qs) {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), len(qs))
+		}
+		for i, c := range got {
+			switch i {
+			case 20, 40:
+				if c != -1 {
+					t.Errorf("workers=%d: failed query %d has label %d, want -1", workers, i, c)
+				}
+			default:
+				if c < 0 {
+					t.Errorf("workers=%d: query %d label lost (%d)", workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestCountManyCtxCancellation: a canceled context stops the batch with a
+// context error instead of running every query to completion.
+func TestCountManyCtxCancellation(t *testing.T) {
+	tbl := genTable(5, 1000)
+	db := singleDB(tbl)
+	qs := genQueries(6, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := CountManyCtx(ctx, db, qs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCountManyOldWrapper: CountMany keeps its all-or-nothing contract.
+func TestCountManyOldWrapper(t *testing.T) {
+	tbl := genTable(7, 500)
+	db := singleDB(tbl)
+	qs := genQueries(8, 10)
+	qs[3] = &sqlparse.Query{Tables: []string{"nosuch"}}
+	out, err := CountMany(db, qs)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if out != nil {
+		t.Fatalf("CountMany must return nil results on error, got %v", out)
+	}
+}
+
+// TestEvalExprCachedMatchesUncached: cached evaluation returns the same
+// bitmaps as direct evaluation, and cached leaves survive in-place And/Or
+// combination uncorrupted (the read-only discipline).
+func TestEvalExprCachedMatchesUncached(t *testing.T) {
+	tbl := genTable(9, 5000)
+	qs := genQueries(10, 200)
+	cache := NewPredCache(0)
+	for pass := 0; pass < 2; pass++ { // second pass exercises hits
+		for i, q := range qs {
+			want, err := EvalExpr(tbl, q.Where)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := EvalExprCached(tbl, q.Where, cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Count() != want.Count() {
+				t.Fatalf("pass %d query %d: cached count %d, uncached %d", pass, i, got.Count(), want.Count())
+			}
+		}
+	}
+	hits, misses, entries := cache.Stats()
+	if hits == 0 {
+		t.Error("cache registered no hits across repeated queries")
+	}
+	if misses == 0 || entries == 0 {
+		t.Errorf("cache stats: %d misses, %d entries", misses, entries)
+	}
+}
+
+// TestPredCacheEviction: the byte budget is enforced via FIFO eviction and
+// results stay exact after eviction churn.
+func TestPredCacheEviction(t *testing.T) {
+	tbl := genTable(11, 4096) // 64 words = 512 bytes per bitmap
+	// Budget for ~4 bitmaps; 50 distinct predicates force constant churn.
+	cache := NewPredCache(4 * 512)
+	for round := 0; round < 3; round++ {
+		for v := int64(0); v < 50; v++ {
+			p := &sqlparse.Pred{Attr: "a", Op: sqlparse.OpLe, Val: v * 20}
+			want, err := EvalPred(tbl, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cache.eval(tbl, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Count() != want.Count() {
+				t.Fatalf("v=%d: cached %d, direct %d", v, got.Count(), want.Count())
+			}
+		}
+	}
+	_, _, entries := cache.Stats()
+	if entries > 4 {
+		t.Errorf("cache holds %d entries, budget allows 4", entries)
+	}
+}
+
+// TestBindDoesNotMutateSharedPred: the satellite regression — a *Pred node
+// shared by two queries (workload templates) must survive the first Bind
+// intact so the second query binds correctly, and concurrent evaluation of
+// already-bound queries never observes a mutation.
+func TestBindDoesNotMutateSharedPred(t *testing.T) {
+	vals := []string{"ash", "beech", "cedar", "beech", "ash", "cedar", "beech"}
+	tbl := table.New("trees")
+	tbl.MustAddColumn(table.NewStringColumn("species", vals))
+	db := singleDB(tbl)
+
+	lit := "beech"
+	shared := &sqlparse.Pred{Attr: "species", Op: sqlparse.OpEq, Str: &lit}
+	q1 := &sqlparse.Query{Tables: []string{"trees"}, Where: shared}
+	q2 := &sqlparse.Query{Tables: []string{"trees"}, Where: shared}
+
+	if err := Bind(q1, db); err != nil {
+		t.Fatal(err)
+	}
+	if shared.Str == nil || *shared.Str != "beech" {
+		t.Fatal("Bind mutated the shared Pred node in place")
+	}
+	if err := Bind(q2, db); err != nil {
+		t.Fatalf("binding the second query sharing the node: %v", err)
+	}
+	c1, err := Count(db, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Count(db, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != 3 || c2 != 3 {
+		t.Errorf("counts after shared-node binds: %d and %d, want 3 and 3", c1, c2)
+	}
+}

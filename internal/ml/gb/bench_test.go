@@ -1,6 +1,7 @@
 package gb
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -65,5 +66,29 @@ func BenchmarkPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Predict(X[i%len(X)])
+	}
+}
+
+// BenchmarkTrainWorkers compares sequential (Workers=1) against parallel
+// histogram training on the same problem. Results are bit-identical across
+// worker counts; only wall-clock should differ on multi-core hardware.
+func BenchmarkTrainWorkers(b *testing.B) {
+	X, y := benchData(2_000, 200)
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=GOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.NumTrees = 30
+			cfg.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Train(X, y, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

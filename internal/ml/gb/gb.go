@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"qfe/internal/parallel"
 )
 
 // Config holds the gradient-boosting hyperparameters. The zero value is not
@@ -40,6 +42,13 @@ type Config struct {
 	ExactSplits bool
 	// Seed drives subsampling; training is deterministic given a seed.
 	Seed int64
+	// Workers bounds the goroutines used for feature binning, per-feature
+	// split search, and batch prediction; < 1 means one per logical CPU.
+	// The trained model is bit-identical for every Workers value: each
+	// feature's histogram accumulates in the same row order as the
+	// sequential code, and the cross-feature winner is reduced in fixed
+	// feature order after the pool drains.
+	Workers int `json:",omitempty"`
 }
 
 // DefaultConfig mirrors a lightly tuned LightGBM-style configuration
@@ -177,9 +186,13 @@ func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
 		}
 		tr := b.build(rows, cols, resid)
 		m.Trees = append(m.Trees, tr)
-		for i := range pred {
-			pred[i] += cfg.LearningRate * tr.predict(X[i])
-		}
+		// Per-row prediction updates write disjoint slots, so the parallel
+		// sweep is bit-identical to the sequential loop.
+		parallel.DoChunks(n, b.workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				pred[i] += cfg.LearningRate * tr.predict(X[i])
+			}
+		})
 	}
 	return m, nil
 }
@@ -196,12 +209,15 @@ func (m *Model) Predict(x []float64) float64 {
 	return out
 }
 
-// PredictBatch applies Predict to every row.
+// PredictBatch applies Predict to every row, fanning the rows out across
+// m.Cfg.Workers goroutines (each row writes only its own output slot).
 func (m *Model) PredictBatch(X [][]float64) []float64 {
 	out := make([]float64, len(X))
-	for i, x := range X {
-		out[i] = m.Predict(x)
-	}
+	parallel.DoChunks(len(X), parallel.Workers(m.Cfg.Workers), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = m.Predict(X[i])
+		}
+	})
 	return out
 }
 

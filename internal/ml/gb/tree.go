@@ -3,10 +3,12 @@ package gb
 import (
 	"math"
 	"sort"
+
+	"qfe/internal/parallel"
 )
 
 // builder holds the per-training-run state shared by all trees: the binned
-// feature matrix for histogram split search and scratch buffers.
+// feature matrix for histogram split search and the resolved worker count.
 type builder struct {
 	X       [][]float64
 	cfg     Config
@@ -14,46 +16,61 @@ type builder struct {
 	codes   []uint8     // n*d bin codes, row-major
 	edges   [][]float64 // per feature: upper edge of each bin except the last
 	allCols []int
+	workers int
+}
+
+// splitResult is one feature's best split, computed independently so the
+// per-feature search can fan out across workers. The cross-feature winner
+// is chosen afterwards in feature order, which keeps the parallel search
+// bit-identical to the sequential scan.
+type splitResult struct {
+	thr  float64
+	gain float64
+	ok   bool
 }
 
 // newBuilder bins every feature once; bins are reused by every tree of the
-// boosting run (the histogram trick).
+// boosting run (the histogram trick). Binning is embarrassingly parallel
+// across features: feature f writes only edges[f] and the codes[i*d+f]
+// column, so the parallel sweep is race-free and order-independent.
 func newBuilder(X [][]float64, cfg Config) *builder {
 	n, d := len(X), len(X[0])
-	b := &builder{X: X, cfg: cfg, n: n, d: d}
+	b := &builder{X: X, cfg: cfg, n: n, d: d, workers: parallel.Workers(cfg.Workers)}
 	b.allCols = make([]int, d)
 	for i := range b.allCols {
 		b.allCols[i] = i
 	}
 	b.codes = make([]uint8, n*d)
 	b.edges = make([][]float64, d)
-	for f := 0; f < d; f++ {
-		mn, mx := X[0][f], X[0][f]
-		for i := 1; i < n; i++ {
-			v := X[i][f]
-			if v < mn {
-				mn = v
+	parallel.DoChunks(d, b.workers, func(flo, fhi int) {
+		for f := flo; f < fhi; f++ {
+			mn, mx := X[0][f], X[0][f]
+			for i := 1; i < n; i++ {
+				v := X[i][f]
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
 			}
-			if v > mx {
-				mx = v
+			bins := cfg.MaxBins
+			if mx == mn {
+				bins = 1
+			}
+			// Uniform bin edges over [mn, mx]: edges[k] is the inclusive
+			// upper bound of bin k; the last bin is unbounded above.
+			edges := make([]float64, bins-1)
+			width := (mx - mn) / float64(bins)
+			for k := 0; k < bins-1; k++ {
+				edges[k] = mn + width*float64(k+1)
+			}
+			b.edges[f] = edges
+			for i := 0; i < n; i++ {
+				b.codes[i*d+f] = binCode(X[i][f], mn, width, bins)
 			}
 		}
-		bins := cfg.MaxBins
-		if mx == mn {
-			bins = 1
-		}
-		// Uniform bin edges over [mn, mx]: edges[k] is the inclusive upper
-		// bound of bin k; the last bin is unbounded above.
-		edges := make([]float64, bins-1)
-		width := (mx - mn) / float64(bins)
-		for k := 0; k < bins-1; k++ {
-			edges[k] = mn + width*float64(k+1)
-		}
-		b.edges[f] = edges
-		for i := 0; i < n; i++ {
-			b.codes[i*d+f] = binCode(X[i][f], mn, width, bins)
-		}
-	}
+	})
 	return b
 }
 
@@ -95,15 +112,7 @@ func (b *builder) grow(t *tree, rows, cols []int, resid []float64, depth int) in
 		return idx
 	}
 
-	var feat int
-	var thr float64
-	var gain float64
-	var ok bool
-	if b.cfg.ExactSplits {
-		feat, thr, gain, ok = b.bestSplitExact(rows, cols, resid, sum)
-	} else {
-		feat, thr, gain, ok = b.bestSplitHistogram(rows, cols, resid, sum)
-	}
+	feat, thr, gain, ok := b.bestSplit(rows, cols, resid, sum)
 	if !ok || gain <= 1e-12 {
 		t.Nodes[idx] = node{Leaf: true, Value: mean}
 		return idx
@@ -129,91 +138,133 @@ func (b *builder) grow(t *tree, rows, cols []int, resid []float64, depth int) in
 	return idx
 }
 
-// bestSplitHistogram finds the variance-reduction-maximizing split using the
-// precomputed bin codes. The gain of a split is
-//
-//	sumL^2/cntL + sumR^2/cntR - sumTotal^2/cntTotal,
-//
-// the standard decomposition of squared-error reduction.
-func (b *builder) bestSplitHistogram(rows, cols []int, resid []float64, sumTotal float64) (feat int, thr, gain float64, ok bool) {
+// splitWorkers decides the fan-out for one node's split search: near the
+// leaves the per-feature work is too small to amortize goroutine dispatch.
+func (b *builder) splitWorkers(rows, cols []int) int {
+	if len(rows)*len(cols) < 8192 {
+		return 1
+	}
+	return b.workers
+}
+
+// bestSplit searches every candidate feature for the variance-reduction-
+// maximizing split, fanning the per-feature searches (histogram build or
+// exact threshold scan — each touching only its own hist buffers and
+// results[ci] slot) across workers. The winner is then reduced in cols
+// order with the same strictly-greater comparison the sequential scan
+// used, so ties break toward the earlier feature and the chosen split is
+// bit-identical for every worker count.
+func (b *builder) bestSplit(rows, cols []int, resid []float64, sumTotal float64) (feat int, thr, gain float64, ok bool) {
 	cnt := len(rows)
 	parentScore := sumTotal * sumTotal / float64(cnt)
-	bins := b.cfg.MaxBins
-	histSum := make([]float64, bins)
-	histCnt := make([]int, bins)
+	results := make([]splitResult, len(cols))
 
-	for _, f := range cols {
-		edges := b.edges[f]
-		if len(edges) == 0 {
-			continue // constant feature
-		}
-		nb := len(edges) + 1
-		for k := 0; k < nb; k++ {
-			histSum[k] = 0
-			histCnt[k] = 0
-		}
-		for _, r := range rows {
-			c := b.codes[r*b.d+f]
-			histSum[c] += resid[r]
-			histCnt[c]++
-		}
-		var accSum float64
-		accCnt := 0
-		for k := 0; k < nb-1; k++ {
-			accSum += histSum[k]
-			accCnt += histCnt[k]
-			if accCnt < b.cfg.MinSamplesLeaf || cnt-accCnt < b.cfg.MinSamplesLeaf {
-				continue
+	workers := b.splitWorkers(rows, cols)
+	if b.cfg.ExactSplits {
+		parallel.DoChunks(len(cols), workers, func(lo, hi int) {
+			pairs := make([]splitPair, 0, cnt)
+			for ci := lo; ci < hi; ci++ {
+				results[ci] = b.exactFeatureSplit(rows, cols[ci], resid, sumTotal, parentScore, pairs)
 			}
-			rSum := sumTotal - accSum
-			score := accSum*accSum/float64(accCnt) + rSum*rSum/float64(cnt-accCnt)
-			if g := score - parentScore; g > gain {
-				gain, feat, thr, ok = g, f, edges[k], true
+		})
+	} else {
+		parallel.DoChunks(len(cols), workers, func(lo, hi int) {
+			histSum := make([]float64, b.cfg.MaxBins)
+			histCnt := make([]int, b.cfg.MaxBins)
+			for ci := lo; ci < hi; ci++ {
+				results[ci] = b.histFeatureSplit(rows, cols[ci], resid, sumTotal, parentScore, histSum, histCnt)
 			}
+		})
+	}
+
+	for ci, res := range results {
+		if res.ok && res.gain > gain {
+			gain, feat, thr, ok = res.gain, cols[ci], res.thr, true
 		}
 	}
 	return feat, thr, gain, ok
 }
 
-// bestSplitExact scans every distinct threshold of every candidate feature —
-// the slow reference implementation kept for the split-search ablation and
-// for cross-checking the histogram path in tests.
-func (b *builder) bestSplitExact(rows, cols []int, resid []float64, sumTotal float64) (feat int, thr, gain float64, ok bool) {
+// histFeatureSplit finds feature f's best histogram split. The gain of a
+// split is
+//
+//	sumL^2/cntL + sumR^2/cntR - sumTotal^2/cntTotal,
+//
+// the standard decomposition of squared-error reduction. The histogram
+// accumulates rows in input order — the same order as the sequential code —
+// so gains are bit-identical regardless of which worker runs the feature.
+func (b *builder) histFeatureSplit(rows []int, f int, resid []float64, sumTotal, parentScore float64, histSum []float64, histCnt []int) splitResult {
+	edges := b.edges[f]
+	if len(edges) == 0 {
+		return splitResult{} // constant feature
+	}
 	cnt := len(rows)
-	parentScore := sumTotal * sumTotal / float64(cnt)
-	type pair struct {
-		v, r float64
+	nb := len(edges) + 1
+	for k := 0; k < nb; k++ {
+		histSum[k] = 0
+		histCnt[k] = 0
 	}
-	pairs := make([]pair, 0, cnt)
+	for _, r := range rows {
+		c := b.codes[r*b.d+f]
+		histSum[c] += resid[r]
+		histCnt[c]++
+	}
+	var best splitResult
+	var accSum float64
+	accCnt := 0
+	for k := 0; k < nb-1; k++ {
+		accSum += histSum[k]
+		accCnt += histCnt[k]
+		if accCnt < b.cfg.MinSamplesLeaf || cnt-accCnt < b.cfg.MinSamplesLeaf {
+			continue
+		}
+		rSum := sumTotal - accSum
+		score := accSum*accSum/float64(accCnt) + rSum*rSum/float64(cnt-accCnt)
+		if g := score - parentScore; g > best.gain {
+			best = splitResult{thr: edges[k], gain: g, ok: true}
+		}
+	}
+	return best
+}
 
-	for _, f := range cols {
-		pairs = pairs[:0]
-		for _, r := range rows {
-			pairs = append(pairs, pair{b.X[r][f], resid[r]})
+// splitPair is one (value, residual) sample of the exact-split scan.
+type splitPair struct {
+	v, r float64
+}
+
+// exactFeatureSplit scans every distinct threshold of feature f — the slow
+// reference implementation kept for the split-search ablation and for
+// cross-checking the histogram path in tests. pairs is a reusable scratch
+// buffer owned by the calling worker.
+func (b *builder) exactFeatureSplit(rows []int, f int, resid []float64, sumTotal, parentScore float64, pairs []splitPair) splitResult {
+	cnt := len(rows)
+	pairs = pairs[:0]
+	for _, r := range rows {
+		pairs = append(pairs, splitPair{b.X[r][f], resid[r]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+	var best splitResult
+	var accSum float64
+	for i := 0; i < cnt-1; i++ {
+		accSum += pairs[i].r
+		if pairs[i].v == pairs[i+1].v {
+			continue // can only split between distinct values
 		}
-		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
-		var accSum float64
-		for i := 0; i < cnt-1; i++ {
-			accSum += pairs[i].r
-			if pairs[i].v == pairs[i+1].v {
-				continue // can only split between distinct values
+		accCnt := i + 1
+		if accCnt < b.cfg.MinSamplesLeaf || cnt-accCnt < b.cfg.MinSamplesLeaf {
+			continue
+		}
+		rSum := sumTotal - accSum
+		score := accSum*accSum/float64(accCnt) + rSum*rSum/float64(cnt-accCnt)
+		if g := score - parentScore; g > best.gain {
+			// Split midway between the neighboring distinct values so
+			// prediction-time comparisons are robust.
+			mid := pairs[i].v + (pairs[i+1].v-pairs[i].v)/2
+			if math.IsInf(mid, 0) {
+				mid = pairs[i].v
 			}
-			accCnt := i + 1
-			if accCnt < b.cfg.MinSamplesLeaf || cnt-accCnt < b.cfg.MinSamplesLeaf {
-				continue
-			}
-			rSum := sumTotal - accSum
-			score := accSum*accSum/float64(accCnt) + rSum*rSum/float64(cnt-accCnt)
-			if g := score - parentScore; g > gain {
-				// Split midway between the neighboring distinct values so
-				// prediction-time comparisons are robust.
-				mid := pairs[i].v + (pairs[i+1].v-pairs[i].v)/2
-				if math.IsInf(mid, 0) {
-					mid = pairs[i].v
-				}
-				gain, feat, thr, ok = g, f, mid, true
-			}
+			best = splitResult{thr: mid, gain: g, ok: true}
 		}
 	}
-	return feat, thr, gain, ok
+	return best
 }

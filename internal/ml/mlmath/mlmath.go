@@ -86,6 +86,14 @@ func (d *Dense) Forward(x []float64) []float64 {
 // the gradient dy of the loss w.r.t. the layer output, and returns the
 // gradient w.r.t. x. Call ZeroGrad before each mini-batch and Step after.
 func (d *Dense) Backward(x, dy []float64) []float64 {
+	return d.BackwardInto(x, dy, d.gradW, d.gradB)
+}
+
+// BackwardInto is Backward accumulating into caller-provided buffers
+// instead of the layer's own. Parallel trainers give each worker shard its
+// own buffers so sample gradients accumulate without sharing, then reduce
+// the shards in a fixed order (see AddGrad).
+func (d *Dense) BackwardInto(x, dy, gradW, gradB []float64) []float64 {
 	dx := make([]float64, d.In)
 	for o := 0; o < d.Out; o++ {
 		g := dy[o]
@@ -93,14 +101,27 @@ func (d *Dense) Backward(x, dy []float64) []float64 {
 			continue
 		}
 		row := d.W[o*d.In : (o+1)*d.In]
-		grow := d.gradW[o*d.In : (o+1)*d.In]
+		grow := gradW[o*d.In : (o+1)*d.In]
 		for i := range row {
 			grow[i] += g * x[i]
 			dx[i] += g * row[i]
 		}
-		d.gradB[o] += g
+		gradB[o] += g
 	}
 	return dx
+}
+
+// AddGrad adds externally accumulated gradient buffers into the layer's
+// own. Reducing worker shards with AddGrad in a fixed shard order makes the
+// summation tree — and therefore the trained weights — independent of how
+// many workers produced the shards.
+func (d *Dense) AddGrad(gradW, gradB []float64) {
+	for i, g := range gradW {
+		d.gradW[i] += g
+	}
+	for i, g := range gradB {
+		d.gradB[i] += g
+	}
 }
 
 // ZeroGrad clears the accumulated gradients.

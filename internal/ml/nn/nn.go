@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"qfe/internal/ml/mlmath"
+	"qfe/internal/parallel"
 )
 
 // Config holds the network hyperparameters.
@@ -36,6 +37,14 @@ type Config struct {
 	// Seed drives initialization and shuffling; training is deterministic
 	// given a seed.
 	Seed int64
+	// Workers bounds the goroutines that fan mini-batch forward/backward
+	// passes and batch prediction across samples; < 1 means one per
+	// logical CPU. Trained weights are bit-identical for every Workers
+	// value: per-sample gradients accumulate within fixed 8-sample shards
+	// (see gradShardSize) and shards reduce in index order after the pool
+	// drains, so the floating-point summation tree never depends on
+	// scheduling.
+	Workers int
 }
 
 // DefaultConfig mirrors the modest two-hidden-layer setup of the local-model
@@ -129,6 +138,14 @@ func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
 	sinceBest := 0
 	var bestSnapshot [][]float64
 
+	workers := parallel.Workers(cfg.Workers)
+	maxShards := (cfg.BatchSize + gradShardSize - 1) / gradShardSize
+	shards := make([]*shardGrads, maxShards)
+	for i := range shards {
+		shards[i] = newShardGrads(m.layers)
+	}
+	valPred := make([]float64, nVal)
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		mlmath.Shuffle(trainIdx, rng)
 		for start := 0; start < len(trainIdx); start += cfg.BatchSize {
@@ -137,11 +154,31 @@ func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
 				end = len(trainIdx)
 			}
 			batch := trainIdx[start:end]
+			// Forward/backward fans out across fixed-size sample shards;
+			// each shard accumulates into private buffers. The shard
+			// partition depends only on BatchSize, never on workers, so
+			// the gradient sum below is reproducible for any parallelism.
+			numShards := (len(batch) + gradShardSize - 1) / gradShardSize
+			parallel.Do(numShards, workers, func(si int) {
+				sg := shards[si]
+				sg.zero()
+				lo := si * gradShardSize
+				hi := lo + gradShardSize
+				if hi > len(batch) {
+					hi = len(batch)
+				}
+				for _, i := range batch[lo:hi] {
+					m.backpropInto(X[i], y[i], sg)
+				}
+			})
 			for _, l := range m.layers {
 				l.ZeroGrad()
 			}
-			for _, i := range batch {
-				m.backprop(X[i], y[i])
+			// Deterministic reduction: shards fold in index order.
+			for si := 0; si < numShards; si++ {
+				for li, l := range m.layers {
+					l.AddGrad(shards[si].w[li], shards[si].b[li])
+				}
 			}
 			for _, l := range m.layers {
 				l.Step(cfg.LearningRate, len(batch))
@@ -149,9 +186,17 @@ func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
 		}
 
 		if nVal > 0 {
+			// Validation predictions are independent per sample (each
+			// writes its own slot); the loss sums sequentially in hold-out
+			// order, bit-identical to a serial pass.
+			parallel.DoChunks(nVal, workers, func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					valPred[j] = m.Predict(X[valIdx[j]])
+				}
+			})
 			var valLoss float64
-			for _, i := range valIdx {
-				diff := m.Predict(X[i]) - y[i]
+			for j, i := range valIdx {
+				diff := valPred[j] - y[i]
 				valLoss += diff * diff
 			}
 			valLoss /= float64(nVal)
@@ -173,8 +218,46 @@ func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
 	return m, nil
 }
 
-// backprop runs one forward/backward pass and accumulates gradients.
-func (m *Model) backprop(x []float64, target float64) {
+// gradShardSize is the number of consecutive mini-batch samples whose
+// gradients accumulate into one private shard before the ordered
+// cross-shard reduction. It is a fixed constant — NOT derived from the
+// worker count — which is what makes trained weights bit-identical for
+// every Workers setting: the floating-point summation tree is a function
+// of the batch alone.
+const gradShardSize = 8
+
+// shardGrads holds one shard's private per-layer gradient buffers.
+type shardGrads struct {
+	w [][]float64
+	b [][]float64
+}
+
+func newShardGrads(layers []*mlmath.Dense) *shardGrads {
+	sg := &shardGrads{}
+	for _, l := range layers {
+		sg.w = append(sg.w, make([]float64, l.In*l.Out))
+		sg.b = append(sg.b, make([]float64, l.Out))
+	}
+	return sg
+}
+
+func (sg *shardGrads) zero() {
+	for _, w := range sg.w {
+		for i := range w {
+			w[i] = 0
+		}
+	}
+	for _, b := range sg.b {
+		for i := range b {
+			b[i] = 0
+		}
+	}
+}
+
+// backpropInto runs one forward/backward pass, accumulating gradients into
+// the given shard's private buffers so concurrent samples never share
+// accumulation state.
+func (m *Model) backpropInto(x []float64, target float64, sg *shardGrads) {
 	// Forward, keeping pre-activations and inputs per layer.
 	inputs := make([][]float64, len(m.layers))
 	pres := make([][]float64, len(m.layers))
@@ -192,7 +275,7 @@ func (m *Model) backprop(x []float64, target float64) {
 	_, grad := mlmath.MSEGrad(act[0], target)
 	dy := []float64{grad}
 	for li := len(m.layers) - 1; li >= 0; li-- {
-		dx := m.layers[li].Backward(inputs[li], dy)
+		dx := m.layers[li].BackwardInto(inputs[li], dy, sg.w[li], sg.b[li])
 		if li > 0 {
 			dy = mlmath.ReLUBackward(pres[li-1], dx)
 		}
@@ -214,12 +297,15 @@ func (m *Model) Predict(x []float64) float64 {
 	return act[0]
 }
 
-// PredictBatch applies Predict to every row.
+// PredictBatch applies Predict to every row, fanning the rows out across
+// the configured workers (each row writes only its own output slot).
 func (m *Model) PredictBatch(X [][]float64) []float64 {
 	out := make([]float64, len(X))
-	for i, x := range X {
-		out[i] = m.Predict(x)
-	}
+	parallel.DoChunks(len(X), parallel.Workers(m.cfg.Workers), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = m.Predict(X[i])
+		}
+	})
 	return out
 }
 

@@ -1,0 +1,74 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		for _, n := range []int{0, 1, 7, 100, 1000} {
+			seen := make([]atomic.Int32, n)
+			Do(n, workers, func(i int) { seen[i].Add(1) })
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestDoDeterministicPerIndexOutput(t *testing.T) {
+	n := 500
+	ref := make([]int, n)
+	Do(n, 1, func(i int) { ref[i] = i * i })
+	for _, workers := range []int{2, 3, 8} {
+		out := make([]int, n)
+		Do(n, workers, func(i int) { out[i] = i * i })
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestDoChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		for _, n := range []int{0, 1, 5, 64, 101} {
+			seen := make([]atomic.Int32, n)
+			var calls atomic.Int32
+			DoChunks(n, workers, func(lo, hi int) {
+				calls.Add(1)
+				if lo >= hi {
+					t.Errorf("empty chunk [%d, %d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					seen[i].Add(1)
+				}
+			})
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, got)
+				}
+			}
+			if n > 0 && calls.Load() > int32(workers) {
+				t.Errorf("workers=%d n=%d: %d chunks, want <= %d", workers, n, calls.Load(), workers)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomBitmap fills a bitmap of length n with random bits and returns the
+// reference bool slice alongside it.
+func randomBitmap(rng *rand.Rand, n int) (*Bitmap, []bool) {
+	bm := NewBitmap(n)
+	ref := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			bm.Set(i)
+			ref[i] = true
+		}
+	}
+	return bm, ref
+}
+
+// lengths exercises the clearTail edge cases: empty, sub-word, exact word
+// multiples, and one-off-from-multiple sizes.
+var lengths = []int{0, 1, 3, 63, 64, 65, 127, 128, 129, 1000, 4096, 4097}
+
+// TestBitmapNotProperty: Not must complement every valid bit and never leak
+// set bits into the tail padding — Count(b) + Count(¬b) == n for every
+// length, including non-multiples of 64.
+func TestBitmapNotProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range lengths {
+		for trial := 0; trial < 20; trial++ {
+			bm, ref := randomBitmap(rng, n)
+			before := bm.Count()
+			bm.Not()
+			if got, want := bm.Count(), n-before; got != want {
+				t.Fatalf("n=%d: Count(¬b) = %d, want %d", n, got, want)
+			}
+			for i := 0; i < n; i++ {
+				if bm.Get(i) == ref[i] {
+					t.Fatalf("n=%d: bit %d not complemented", n, i)
+				}
+			}
+			// Double complement restores the original exactly.
+			bm.Not()
+			for i := 0; i < n; i++ {
+				if bm.Get(i) != ref[i] {
+					t.Fatalf("n=%d: double Not broke bit %d", n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFullBitmapTailLengths: NewFullBitmap must count exactly n for tail
+// lengths, and stay exact through Not round trips.
+func TestFullBitmapTailLengths(t *testing.T) {
+	for _, n := range lengths {
+		full := NewFullBitmap(n)
+		if got := full.Count(); got != n {
+			t.Fatalf("n=%d: full count = %d", n, got)
+		}
+		full.Not()
+		if got := full.Count(); got != 0 {
+			t.Fatalf("n=%d: ¬full count = %d", n, got)
+		}
+	}
+}
+
+// TestBitmapCountMatchesIndices: Count, Indices, and ForEach must agree on
+// every length, and Indices must ascend.
+func TestBitmapCountMatchesIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range lengths {
+		bm, ref := randomBitmap(rng, n)
+		want := 0
+		for _, b := range ref {
+			if b {
+				want++
+			}
+		}
+		if got := bm.Count(); got != want {
+			t.Fatalf("n=%d: Count = %d, want %d", n, got, want)
+		}
+		idx := bm.Indices()
+		if len(idx) != want {
+			t.Fatalf("n=%d: %d indices, want %d", n, len(idx), want)
+		}
+		for j := 1; j < len(idx); j++ {
+			if idx[j] <= idx[j-1] {
+				t.Fatalf("n=%d: indices not ascending at %d", n, j)
+			}
+		}
+		visited := 0
+		bm.ForEach(func(i int) {
+			if !ref[i] {
+				t.Fatalf("n=%d: ForEach visited clear bit %d", n, i)
+			}
+			visited++
+		})
+		if visited != want {
+			t.Fatalf("n=%d: ForEach visited %d, want %d", n, visited, want)
+		}
+	}
+}
+
+// TestBitmapBooleanAlgebra: And/Or/AndNot against the reference bool-slice
+// model on tail-heavy lengths.
+func TestBitmapBooleanAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range lengths {
+		a, refA := randomBitmap(rng, n)
+		b, refB := randomBitmap(rng, n)
+
+		and := a.Clone()
+		and.And(b)
+		or := a.Clone()
+		or.Or(b)
+		andNot := a.Clone()
+		andNot.AndNot(b)
+		for i := 0; i < n; i++ {
+			if and.Get(i) != (refA[i] && refB[i]) {
+				t.Fatalf("n=%d: And wrong at %d", n, i)
+			}
+			if or.Get(i) != (refA[i] || refB[i]) {
+				t.Fatalf("n=%d: Or wrong at %d", n, i)
+			}
+			if andNot.Get(i) != (refA[i] && !refB[i]) {
+				t.Fatalf("n=%d: AndNot wrong at %d", n, i)
+			}
+		}
+		// De Morgan on the bitmap level: ¬(a ∧ b) == ¬a ∨ ¬b.
+		left := a.Clone()
+		left.And(b)
+		left.Not()
+		na, nb := a.Clone(), b.Clone()
+		na.Not()
+		nb.Not()
+		na.Or(nb)
+		for i := 0; i < n; i++ {
+			if left.Get(i) != na.Get(i) {
+				t.Fatalf("n=%d: De Morgan broken at %d", n, i)
+			}
+		}
+		if left.Count() != na.Count() {
+			t.Fatalf("n=%d: De Morgan counts differ", n)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package table
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Column is a typed, fully materialized attribute of a table.
@@ -28,6 +29,12 @@ type Column struct {
 	// (Section 6, "String predicates").
 	Dict []string
 
+	// statsMu guards the lazily computed statistics below, making the
+	// stats accessors safe under concurrent readers (parallel labeling and
+	// training read Min/Max/Distinct from many goroutines). Mutating Vals
+	// or calling InvalidateStats concurrently with readers remains the
+	// caller's responsibility to serialize.
+	statsMu    sync.Mutex
 	statsValid bool
 	min, max   int64
 	distinct   int
@@ -89,9 +96,15 @@ func (c *Column) Decode(v int64) string {
 
 // InvalidateStats forces statistics to be recomputed on next access. Call it
 // after mutating Vals (e.g. when simulating data drift).
-func (c *Column) InvalidateStats() { c.statsValid = false }
+func (c *Column) InvalidateStats() {
+	c.statsMu.Lock()
+	c.statsValid = false
+	c.statsMu.Unlock()
+}
 
 func (c *Column) ensureStats() {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
 	if c.statsValid {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"qfe/internal/exec"
 	"qfe/internal/sqlparse"
 	"qfe/internal/table"
 )
@@ -62,6 +63,7 @@ func Conjunctive(tbl *table.Table, cfg ConjConfig) (Set, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	db := singleDB(tbl)
 	names := tbl.ColumnNames()
+	cache := exec.NewPredCache(0)
 
 	var out Set
 	for attempts := 0; len(out) < cfg.Count; attempts++ {
@@ -77,7 +79,7 @@ func Conjunctive(tbl *table.Table, cfg ConjConfig) (Set, error) {
 		}
 		q := &sqlparse.Query{Tables: []string{tbl.Name}, Where: sqlparse.NewAnd(conj...)}
 		var ok bool
-		out, ok, err = label(db, q, out)
+		out, ok, err = label(db, q, out, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -183,6 +185,7 @@ func Mixed(tbl *table.Table, cfg MixedConfig) (Set, error) {
 	rng := rand.New(rand.NewSource(base.Seed))
 	db := singleDB(tbl)
 	names := tbl.ColumnNames()
+	cache := exec.NewPredCache(0)
 
 	var out Set
 	for attempts := 0; len(out) < base.Count; attempts++ {
@@ -207,7 +210,7 @@ func Mixed(tbl *table.Table, cfg MixedConfig) (Set, error) {
 			compounds = append(compounds, sqlparse.NewOr(branches...))
 		}
 		q := &sqlparse.Query{Tables: []string{tbl.Name}, Where: sqlparse.NewAnd(compounds...)}
-		out, _, err = label(db, q, out)
+		out, _, err = label(db, q, out, cache)
 		if err != nil {
 			return nil, err
 		}

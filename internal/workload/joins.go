@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"qfe/internal/catalog"
+	"qfe/internal/exec"
 	"qfe/internal/sqlparse"
 	"qfe/internal/table"
 )
@@ -95,6 +96,7 @@ func generateJoins(db *table.DB, schema *catalog.Schema, cfg JoinConfig, include
 		cfg.MaxPreds = 5
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	cache := exec.NewPredCache(0)
 
 	var out Set
 	for attempts := 0; len(out) < cfg.Count; attempts++ {
@@ -123,7 +125,7 @@ func generateJoins(db *table.DB, schema *catalog.Schema, cfg JoinConfig, include
 		if err != nil {
 			return nil, err
 		}
-		out, _, err = label(db, q, out)
+		out, _, err = label(db, q, out, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -230,6 +232,7 @@ func JoinForTables(db *table.DB, schema *catalog.Schema, tables []string, count,
 		}
 	}
 	rng := rand.New(rand.NewSource(seed))
+	cache := exec.NewPredCache(0)
 	var out Set
 	for attempts := 0; len(out) < count; attempts++ {
 		if attempts > maxAttemptFactor*count {
@@ -240,7 +243,7 @@ func JoinForTables(db *table.DB, schema *catalog.Schema, tables []string, count,
 			return nil, err
 		}
 		var ok bool
-		out, ok, err = label(db, q, out)
+		out, ok, err = label(db, q, out, cache)
 		if err != nil {
 			return nil, err
 		}

@@ -18,6 +18,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -114,9 +115,11 @@ func (s Set) MeanCard() float64 {
 }
 
 // label counts q against db and appends it to dst when non-empty, returning
-// the updated set and whether the query qualified.
-func label(db *table.DB, q *sqlparse.Query, dst Set) (Set, bool, error) {
-	card, err := exec.Count(db, q)
+// the updated set and whether the query qualified. The per-run cache
+// memoizes simple-predicate bitmaps across the generate-and-reject loop —
+// counts are exact with or without it, so generated sets are identical.
+func label(db *table.DB, q *sqlparse.Query, dst Set, cache *exec.PredCache) (Set, bool, error) {
+	card, err := exec.CountCached(context.Background(), db, q, cache)
 	if err != nil {
 		return dst, false, err
 	}
@@ -124,6 +127,25 @@ func label(db *table.DB, q *sqlparse.Query, dst Set) (Set, bool, error) {
 		return dst, false, nil
 	}
 	return append(dst, Labeled{Query: q, Card: card}), true, nil
+}
+
+// LabelMany labels qs in parallel (one worker per logical CPU, shared
+// predicate-bitmap cache) and returns the non-empty queries as a Set,
+// preserving input order. Queries with empty results are discarded, matching
+// the generators' rejection rule. Labels are bit-identical to sequential
+// labeling; see exec.CountManyCtx.
+func LabelMany(ctx context.Context, db *table.DB, qs []*sqlparse.Query) (Set, error) {
+	cards, err := exec.CountManyCtx(ctx, db, qs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(Set, 0, len(qs))
+	for i, q := range qs {
+		if cards[i] > 0 {
+			out = append(out, Labeled{Query: q, Card: cards[i]})
+		}
+	}
+	return out, nil
 }
 
 // singleDB wraps one table as a DB for the executor.
