@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check fmt fuzz bench
+.PHONY: build test vet race check ci serve-smoke fmt fuzz fuzz-serve bench
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,19 @@ race:
 # race-cleanliness is a correctness property here, not a nicety.
 check: vet race
 
+# ci is the one-shot pipeline entry point: vet, build everything, then the
+# full suite under the race detector.
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# serve-smoke boots the estimation daemon on a random port, fires a single
+# and a batched estimate, scrapes /metrics, and shuts down cleanly — an
+# end-to-end check of the serving stack (internal/serve + cmd/cardestd).
+serve-smoke:
+	$(GO) run ./cmd/cardestd -smoke -rows 2000 -train 800 -entries 16
+
 # bench compares the sequential and parallel hot paths (labeling, GB
 # training, NN training) and writes BENCH_parallel.json. All three paths are
 # bit-identical across worker counts; the report is wall-clock only.
@@ -33,3 +46,8 @@ fmt:
 # Explore the parser fuzz target (runs until interrupted).
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/sqlparse
+
+# Fuzz the HTTP estimate handler: malformed SQL/JSON must yield 4xx, never
+# a 5xx or a panic.
+fuzz-serve:
+	$(GO) test -fuzz=FuzzEstimateHandler -fuzztime=30s ./internal/serve

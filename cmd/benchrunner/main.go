@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"qfe/internal/bench"
+	"qfe/internal/cli"
 )
 
 func main() {
@@ -33,6 +34,11 @@ func main() {
 			fmt.Printf("%-6s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	if err := cli.ValidateWorkers(*workersFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(2)
 	}
 
 	if *scaleFlag != "" {

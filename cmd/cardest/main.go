@@ -28,17 +28,12 @@ import (
 	"os"
 	"time"
 
-	"qfe/internal/core"
-	"qfe/internal/dataset"
+	"qfe/internal/cli"
 	"qfe/internal/estimator"
 	"qfe/internal/exec"
 	"qfe/internal/metrics"
-	"qfe/internal/ml/gb"
-	"qfe/internal/ml/nn"
 	"qfe/internal/resilience"
 	"qfe/internal/sqlparse"
-	"qfe/internal/table"
-	"qfe/internal/workload"
 )
 
 func main() {
@@ -63,30 +58,18 @@ func main() {
 }
 
 func run(qft, model string, trainN, rows, entries int, query string, seed int64, savePath, loadPath string, timeout time.Duration, fallback bool, workers int) error {
+	if err := cli.ValidateWorkers(workers); err != nil {
+		return err
+	}
 	fmt.Printf("building forest dataset (%d rows)...\n", rows)
-	forest, err := dataset.Forest(dataset.ForestConfig{Rows: rows, QuantAttrs: 12, BinaryAttrs: 4, Seed: seed})
-	if err != nil {
-		return err
-	}
-	db := table.NewDB()
-	db.MustAdd(forest)
-
 	fmt.Printf("generating and labeling %d training queries...\n", trainN+500)
-	var set workload.Set
-	if qft == "complex" {
-		set, err = workload.Mixed(forest, workload.MixedConfig{
-			ConjConfig:  workload.ConjConfig{Count: trainN + 500, MaxAttrs: 8, MaxNotEquals: 5, Seed: seed},
-			MaxBranches: 3,
-		})
-	} else {
-		set, err = workload.Conjunctive(forest, workload.ConjConfig{
-			Count: trainN + 500, MaxAttrs: 8, MaxNotEquals: 5, Seed: seed,
-		})
-	}
+	env, err := cli.BuildForestEnv(cli.ForestSpec{
+		Rows: rows, TrainN: trainN, TestN: 500, Seed: seed, QFT: qft,
+	})
 	if err != nil {
 		return err
 	}
-	train, test := set.Split(trainN)
+	db, train, test := env.DB, env.Train, env.Test
 
 	var loc *estimator.Local
 	if loadPath != "" {
@@ -104,18 +87,8 @@ func run(qft, model string, trainN, rows, entries int, query string, seed int64,
 		}
 		fmt.Printf("loaded %s from %s (%d models)\n", loc.Name(), loadPath, loc.NumModels())
 	} else {
-		gbCfg := gb.DefaultConfig()
-		gbCfg.Workers = workers
-		nnCfg := nn.DefaultConfig()
-		nnCfg.Workers = workers
-		factory, err := estimator.FactoryByName(model, gbCfg, nnCfg)
-		if err != nil {
-			return err
-		}
-		loc, err = estimator.NewLocal(db, estimator.LocalConfig{
-			QFT:          qft,
-			Opts:         core.Options{MaxEntriesPerAttr: entries, AttrSel: true},
-			NewRegressor: factory,
+		loc, err = cli.NewLocalEstimator(db, cli.TrainSpec{
+			QFT: qft, Model: model, Entries: entries, Workers: workers,
 		})
 		if err != nil {
 			return err

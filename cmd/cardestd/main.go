@@ -1,0 +1,334 @@
+// Command cardestd is the long-lived estimation daemon: it serves the
+// trained (QFT × model) estimators of this reproduction over an HTTP JSON
+// API, with a hot-swappable model registry, request batching, admission
+// control, and graceful drain (see internal/serve).
+//
+// Usage:
+//
+//	cardestd [-addr :8482] [-load name=path[,name=path...]] [-default name]
+//	         [-qft conjunctive] [-model GB] [-train 2000] [-rows 20000]
+//	         [-entries 32] [-seed 1] [-workers 0] [-save file]
+//	         [-timeout 100ms] [-fallback] [-max-batch 16] [-batch-delay 2ms]
+//	         [-max-inflight 64] [-drain-timeout 10s] [-smoke]
+//
+// Without -load, the daemon builds the synthetic forest database and trains
+// a model at boot (same flags as cardest), registered as "boot". With
+// -load, each name=path pair is restored via the persistence layer (local,
+// global, or hybrid snapshots); the database is still built so string
+// literals bind and snapshots schema-validate. Further models can be loaded
+// at runtime via POST /v1/models/load without dropping in-flight requests.
+//
+// -timeout and -fallback arm the resilience chain around every registered
+// model, exactly as in cardest: a deadline-bound learned stage degrading
+// through sampling → independence → row-count, so the daemon always
+// answers. SIGTERM/SIGINT drain gracefully: in-flight requests finish, new
+// ones get 503, and the listener closes within -drain-timeout.
+//
+// -smoke runs a self-test instead of serving: boot on a random port, fire a
+// single and a batched estimate, hot-list the models, scrape /metrics, and
+// shut down cleanly; the exit code reports success.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"qfe/internal/cli"
+	"qfe/internal/estimator"
+	"qfe/internal/resilience"
+	"qfe/internal/serve"
+	"qfe/internal/table"
+)
+
+type options struct {
+	addr       string
+	load       string
+	defName    string
+	qft        string
+	model      string
+	trainN     int
+	rows       int
+	entries    int
+	seed       int64
+	workers    int
+	save       string
+	timeout    time.Duration
+	fallback   bool
+	maxBatch   int
+	batchDelay time.Duration
+	maxInFly   int
+	drainTO    time.Duration
+	smoke      bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8482", "listen address")
+	flag.StringVar(&o.load, "load", "", "comma-separated name=path model snapshots to serve (default: train one at boot)")
+	flag.StringVar(&o.defName, "default", "", "name of the default model (default: first registered)")
+	flag.StringVar(&o.qft, "qft", "conjunctive", "featurization for the boot-trained model")
+	flag.StringVar(&o.model, "model", "GB", "regressor for the boot-trained model: GB or NN")
+	flag.IntVar(&o.trainN, "train", 2_000, "training queries for the boot-trained model")
+	flag.IntVar(&o.rows, "rows", 20_000, "forest table rows")
+	flag.IntVar(&o.entries, "entries", 32, "per-attribute feature entries (n)")
+	flag.Int64Var(&o.seed, "seed", 1, "generation seed")
+	flag.IntVar(&o.workers, "workers", 0, "training goroutines (0 = one per logical CPU)")
+	flag.StringVar(&o.save, "save", "", "write the boot-trained model snapshot to this file")
+	flag.DurationVar(&o.timeout, "timeout", 100*time.Millisecond, "default per-request estimation deadline (0 = none)")
+	flag.BoolVar(&o.fallback, "fallback", true, "degrade through sampling → independence → row-count when the learned model fails")
+	flag.IntVar(&o.maxBatch, "max-batch", 16, "largest coalesced request batch")
+	flag.DurationVar(&o.batchDelay, "batch-delay", 2*time.Millisecond, "how long an open batch waits before flushing")
+	flag.IntVar(&o.maxInFly, "max-inflight", 64, "concurrent estimate requests admitted before shedding with 429")
+	flag.DurationVar(&o.drainTO, "drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM")
+	flag.BoolVar(&o.smoke, "smoke", false, "run the self-test (random port, batched estimate, metrics scrape) and exit")
+	flag.Parse()
+
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cardestd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options, out io.Writer) error {
+	if err := cli.ValidateWorkers(o.workers); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "building forest environment (%d rows)...\n", o.rows)
+	env, err := cli.BuildForestEnv(cli.ForestSpec{
+		Rows: o.rows, TrainN: o.trainN, TestN: 0, Seed: o.seed, QFT: o.qft,
+	})
+	if err != nil {
+		return err
+	}
+
+	reg := serve.NewRegistry()
+	reg.Wrap = resilienceWrap(env.DB, o)
+
+	if o.load != "" {
+		for _, pair := range strings.Split(o.load, ",") {
+			name, path, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok || name == "" || path == "" {
+				return fmt.Errorf("-load wants name=path pairs, got %q", pair)
+			}
+			info, err := reg.LoadFile(name, path, env.DB, false)
+			if err != nil {
+				return fmt.Errorf("load %q: %w", name, err)
+			}
+			fmt.Fprintf(out, "loaded %s (%s, %s) from %s\n", info.Name, info.Kind, info.Estimator, path)
+		}
+	} else {
+		loc, err := cli.NewLocalEstimator(env.DB, cli.TrainSpec{
+			QFT: o.qft, Model: o.model, Entries: o.entries, Workers: o.workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "training boot model %s + %s on %d queries...\n", o.model, o.qft, len(env.Train))
+		start := time.Now()
+		if err := loc.Train(env.Train); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trained in %v (model size %.1f kB)\n",
+			time.Since(start).Round(time.Millisecond), float64(loc.MemoryBytes())/1024)
+		if o.save != "" {
+			if err := saveSnapshot(loc, o.save); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "saved boot snapshot to %s\n", o.save)
+		}
+		if _, err := reg.Register("boot", loc, serve.ModelInfo{Kind: estimator.KindLocal, Source: "boot"}); err != nil {
+			return err
+		}
+	}
+	if o.defName != "" {
+		if err := reg.SetDefault(o.defName); err != nil {
+			return err
+		}
+	}
+
+	srv, err := serve.New(serve.Config{
+		Registry:       reg,
+		DB:             env.DB,
+		Batcher:        serve.BatcherConfig{MaxBatch: o.maxBatch, MaxDelay: o.batchDelay, Workers: o.workers},
+		MaxInFlight:    o.maxInFly,
+		DefaultTimeout: o.timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	if o.smoke {
+		return smoke(srv, out)
+	}
+	return listenAndServe(srv, o, out)
+}
+
+// resilienceWrap arms the graceful-degradation chain around each registered
+// model when a timeout or fallback is configured; otherwise models serve
+// bare.
+func resilienceWrap(db *table.DB, o options) func(estimator.Estimator) estimator.Estimator {
+	if o.timeout <= 0 && !o.fallback {
+		return nil
+	}
+	return func(est estimator.Estimator) estimator.Estimator {
+		stages := []resilience.Stage{{Name: "learned", Est: est}}
+		if o.fallback {
+			stages = append(stages,
+				resilience.Stage{Name: "sampling", Est: estimator.NewSampling(db, 0.001, o.seed)},
+				resilience.Stage{Name: "independence", Est: &estimator.Independence{DB: db}},
+			)
+		}
+		return resilience.NewResilient(resilience.Config{
+			Timeout:    o.timeout,
+			LastResort: resilience.RowCount{DB: db},
+		}, stages...)
+	}
+}
+
+// saveSnapshot persists any serializable estimator kind.
+func saveSnapshot(est interface{ SaveJSON(io.Writer) error }, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := est.SaveJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// listenAndServe runs the daemon until SIGTERM/SIGINT, then drains: new
+// requests are refused with 503, in-flight requests finish, and the
+// listener closes within the drain deadline.
+func listenAndServe(srv *serve.Server, o options, out io.Writer) error {
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(out, "cardestd listening on %s\n", o.addr)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "signal received; draining...")
+	srv.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), o.drainTO)
+	defer cancel()
+	err := httpSrv.Shutdown(shutCtx)
+	srv.Close()
+	if err != nil {
+		return fmt.Errorf("drain did not finish within %v: %w", o.drainTO, err)
+	}
+	fmt.Fprintln(out, "drained cleanly")
+	return nil
+}
+
+// smoke is the self-test behind `make serve-smoke`: serve on a random
+// port, exercise the API end to end, verify the metrics reflect the load,
+// and shut down cleanly.
+func smoke(srv *serve.Server, out io.Writer) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln) //nolint:errcheck // shut down below
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "smoke: serving on %s\n", base)
+
+	get := func(path string) (map[string]any, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var v map[string]any
+		return v, json.NewDecoder(resp.Body).Decode(&v)
+	}
+	post := func(path string, body any) (map[string]any, error) {
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			return nil, fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, b)
+		}
+		var v map[string]any
+		return v, json.NewDecoder(resp.Body).Decode(&v)
+	}
+
+	if _, err := get("/healthz"); err != nil {
+		return err
+	}
+	single, err := post("/v1/estimate", map[string]any{
+		"sql": "SELECT count(*) FROM forest WHERE A1 >= 3 AND A2 <= 7",
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "smoke: single estimate = %v (stage %v)\n", single["estimate"], single["stage"])
+
+	batch := map[string]any{"queries": []map[string]any{
+		{"sql": "SELECT count(*) FROM forest WHERE A1 = 5"},
+		{"sql": "SELECT count(*) FROM forest WHERE A2 > 2 AND A3 <> 0"},
+		{"sql": "SELECT count(*) FROM forest WHERE A4 < 9"},
+	}}
+	br, err := post("/v1/estimate", batch)
+	if err != nil {
+		return err
+	}
+	results, _ := br["results"].([]any)
+	if len(results) != 3 {
+		return fmt.Errorf("smoke: batched estimate returned %d results, want 3", len(results))
+	}
+	fmt.Fprintf(out, "smoke: batched estimate returned %d results\n", len(results))
+
+	models, err := get("/v1/models")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "smoke: models default=%v\n", models["default"])
+
+	m, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	reqs, _ := m["requests_total"].(float64)
+	qs, _ := m["queries_total"].(float64)
+	if reqs < 2 || qs < 4 {
+		return fmt.Errorf("smoke: metrics report %v requests / %v queries, want >= 2 / >= 4", reqs, qs)
+	}
+	fmt.Fprintf(out, "smoke: metrics ok (%v requests, %v queries)\n", reqs, qs)
+
+	srv.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	srv.Close()
+	fmt.Fprintln(out, "smoke: clean shutdown")
+	return nil
+}

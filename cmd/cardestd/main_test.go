@@ -1,0 +1,84 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyOptions keeps boot training fast enough for a unit test.
+func tinyOptions() options {
+	return options{
+		qft:        "conjunctive",
+		model:      "GB",
+		trainN:     300,
+		rows:       1500,
+		entries:    8,
+		seed:       1,
+		timeout:    200 * time.Millisecond,
+		fallback:   true,
+		maxBatch:   8,
+		batchDelay: time.Millisecond,
+		maxInFly:   16,
+		drainTO:    5 * time.Second,
+		smoke:      true,
+	}
+}
+
+// TestRunSmoke drives the daemon's built-in self-test: boot-train, serve on
+// a random port, single + batched estimates, model listing, metrics scrape,
+// clean shutdown.
+func TestRunSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(tinyOptions(), &out); err != nil {
+		t.Fatalf("smoke run failed: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"single estimate", "3 results", "metrics ok", "clean shutdown"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("smoke output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunSaveAndLoad round-trips a boot snapshot through -save and -load.
+func TestRunSaveAndLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "boot.json")
+	o := tinyOptions()
+	o.save = path
+	if err := run(o, io.Discard); err != nil {
+		t.Fatalf("save run: %v", err)
+	}
+
+	o = tinyOptions()
+	o.load = "m1=" + path + ", m2=" + path
+	o.defName = "m2"
+	var out strings.Builder
+	if err := run(o, &out); err != nil {
+		t.Fatalf("load run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "models default=m2") {
+		t.Errorf("-default did not take effect:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	o := tinyOptions()
+	o.workers = -3
+	if err := run(o, io.Discard); err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Errorf("negative workers: err = %v, want a -workers error", err)
+	}
+
+	o = tinyOptions()
+	o.load = "missing-equals-sign"
+	if err := run(o, io.Discard); err == nil || !strings.Contains(err.Error(), "name=path") {
+		t.Errorf("malformed -load: err = %v, want a name=path error", err)
+	}
+
+	o = tinyOptions()
+	o.defName = "ghost"
+	if err := run(o, io.Discard); err == nil {
+		t.Error("-default with an unknown model accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateWorkers(t *testing.T) {
+	for _, n := range []int{0, 1, 8, 1024} {
+		if err := ValidateWorkers(n); err != nil {
+			t.Errorf("ValidateWorkers(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{-1, -4, -100} {
+		err := ValidateWorkers(n)
+		if err == nil {
+			t.Errorf("ValidateWorkers(%d) accepted", n)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-workers") {
+			t.Errorf("ValidateWorkers(%d) error %q does not name the flag", n, err)
+		}
+	}
+}
+
+func TestForestSpecValidate(t *testing.T) {
+	good := ForestSpec{Rows: 100, TrainN: 10, TestN: 5, Seed: 1, QFT: "conjunctive"}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []ForestSpec{
+		{Rows: 0, TrainN: 10},
+		{Rows: 100, TrainN: 0},
+		{Rows: 100, TrainN: 10, TestN: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestBuildForestEnv(t *testing.T) {
+	env, err := BuildForestEnv(ForestSpec{Rows: 300, TrainN: 25, TestN: 5, Seed: 2, QFT: "conjunctive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.DB == nil || env.Table == nil {
+		t.Fatal("environment missing database or table")
+	}
+	if env.DB.Table(env.Table.Name) == nil {
+		t.Errorf("table %q not registered in the database", env.Table.Name)
+	}
+	if len(env.Train) != 25 || len(env.Test) != 5 {
+		t.Errorf("split = %d/%d, want 25/5", len(env.Train), len(env.Test))
+	}
+
+	if _, err := BuildForestEnv(ForestSpec{Rows: 0, TrainN: 10}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestBuildForestEnvComplexQFT(t *testing.T) {
+	env, err := BuildForestEnv(ForestSpec{Rows: 300, TrainN: 20, TestN: 0, Seed: 2, QFT: "complex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Train) != 20 || len(env.Test) != 0 {
+		t.Errorf("split = %d/%d, want 20/0", len(env.Train), len(env.Test))
+	}
+}
+
+func TestNewLocalEstimator(t *testing.T) {
+	env, err := BuildForestEnv(ForestSpec{Rows: 300, TrainN: 10, Seed: 2, QFT: "conjunctive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLocalEstimator(env.DB, TrainSpec{QFT: "conjunctive", Model: "SVM", Entries: 8}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := NewLocalEstimator(env.DB, TrainSpec{QFT: "conjunctive", Model: "GB", Entries: 8, Workers: -2}); err == nil {
+		t.Error("negative workers accepted")
+	}
+	loc, err := NewLocalEstimator(env.DB, TrainSpec{QFT: "conjunctive", Model: "GB", Entries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.Train(env.Train); err != nil {
+		t.Fatalf("training the built estimator: %v", err)
+	}
+}

@@ -1,0 +1,38 @@
+package serve
+
+// Admission control: a bounded in-flight semaphore that sheds load instead
+// of queueing unboundedly. The estimate path acquires a slot per HTTP
+// request; when every slot is taken, the server answers 429 with a
+// Retry-After hint immediately — the queue a learned estimator builds under
+// overload is latency the DBMS's optimizer never gets back, so shedding
+// beats waiting.
+
+// limiter is a counting semaphore with a non-blocking acquire.
+type limiter struct {
+	slots chan struct{}
+}
+
+func newLimiter(n int) *limiter {
+	if n < 1 {
+		n = 1
+	}
+	return &limiter{slots: make(chan struct{}, n)}
+}
+
+// tryAcquire takes a slot if one is free, never blocking.
+func (l *limiter) tryAcquire() bool {
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *limiter) release() { <-l.slots }
+
+// inFlight reports the number of held slots (approximate under concurrency).
+func (l *limiter) inFlight() int { return len(l.slots) }
+
+// capacity reports the configured bound.
+func (l *limiter) capacity() int { return cap(l.slots) }

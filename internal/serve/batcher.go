@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"qfe/internal/estimator"
+	"qfe/internal/parallel"
+	"qfe/internal/resilience"
+	"qfe/internal/sqlparse"
+)
+
+// The request batcher coalesces concurrent single-query requests into
+// batches fed through the parallel estimation path (internal/parallel, the
+// same worker discipline as the PR-2 labeling/training pools). A lone
+// request under light load flushes after MaxDelay; under heavy load batches
+// fill to MaxBatch and flush immediately, so added latency is bounded by
+// MaxDelay and amortized scheduling makes throughput scale with cores
+// instead of goroutine wakeups.
+
+// ErrServerClosed is returned for requests submitted after the batcher
+// began draining.
+var ErrServerClosed = errors.New("serve: server is shutting down")
+
+// errQueueFull is returned when the batch queue cannot take another request
+// (only possible when the queue is sized below the admission bound).
+var errQueueFull = errors.New("serve: batch queue full")
+
+// BatcherConfig tunes coalescing.
+type BatcherConfig struct {
+	// MaxBatch is the largest coalesced batch; a full batch flushes
+	// immediately. Default 16.
+	MaxBatch int
+	// MaxDelay is how long an open batch waits for company before flushing.
+	// Default 2ms; 0 flushes with whatever is instantly available.
+	MaxDelay time.Duration
+	// Workers bounds the goroutines a flush fans out over
+	// (internal/parallel semantics: <1 means one per logical CPU).
+	Workers int
+	// Queue is the pending-request channel capacity. Size it at least as
+	// large as the admission bound so an admitted request never finds the
+	// queue full. Default 64.
+	Queue int
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 16
+	}
+	if c.MaxDelay < 0 {
+		c.MaxDelay = 0
+	}
+	if c.Queue < 1 {
+		c.Queue = 64
+	}
+	return c
+}
+
+// EstResult is one query's outcome.
+type EstResult struct {
+	Estimate float64
+	// Stage and Degraded carry through from the resilience chain when the
+	// estimator is a *resilience.Resilient; otherwise Stage is empty.
+	Stage    string
+	Degraded bool
+	Err      error
+}
+
+type estReq struct {
+	ctx  context.Context
+	est  estimator.Estimator
+	q    *sqlparse.Query
+	done chan EstResult
+}
+
+// batcher coalesces estimate requests. Create with newBatcher; Close drains.
+type batcher struct {
+	cfg     BatcherConfig
+	onBatch func(n int) // metrics hook, may be nil
+
+	mu     sync.RWMutex // guards closed vs. sends on ch
+	closed bool
+	ch     chan *estReq
+	wg     sync.WaitGroup // run loop + in-flight flushes
+}
+
+func newBatcher(cfg BatcherConfig, onBatch func(int)) *batcher {
+	b := &batcher{cfg: cfg.withDefaults(), onBatch: onBatch}
+	b.ch = make(chan *estReq, b.cfg.Queue)
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// Do estimates one query, waiting for its batch to flush. It always returns
+// a result: every enqueued request is flushed, even during drain.
+func (b *batcher) Do(ctx context.Context, est estimator.Estimator, q *sqlparse.Query) EstResult {
+	r := &estReq{ctx: ctx, est: est, q: q, done: make(chan EstResult, 1)}
+	if err := b.submit(r); err != nil {
+		return EstResult{Err: err}
+	}
+	return <-r.done
+}
+
+// DoBatch estimates a client-supplied batch directly through the parallel
+// path, bypassing the coalescing queue (the client already batched).
+func (b *batcher) DoBatch(ctx context.Context, est estimator.Estimator, qs []*sqlparse.Query) []EstResult {
+	out := make([]EstResult, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	if b.onBatch != nil {
+		b.onBatch(len(qs))
+	}
+	parallel.Do(len(qs), parallel.Workers(b.cfg.Workers), func(i int) {
+		out[i] = estimateOne(ctx, est, qs[i])
+	})
+	return out
+}
+
+func (b *batcher) submit(r *estReq) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return ErrServerClosed
+	}
+	select {
+	case b.ch <- r:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// Close stops accepting requests, flushes everything already queued, and
+// waits for in-flight flushes to finish.
+func (b *batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.closed = true
+	close(b.ch)
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// run is the coalescing loop: take one request, hold the batch open until
+// MaxBatch or MaxDelay, then flush asynchronously so collection of the next
+// batch overlaps with estimation of this one.
+func (b *batcher) run() {
+	defer b.wg.Done()
+	for {
+		first, ok := <-b.ch
+		if !ok {
+			return
+		}
+		batch := b.collect(first)
+		b.wg.Add(1)
+		go func(batch []*estReq) {
+			defer b.wg.Done()
+			b.flush(batch)
+		}(batch)
+	}
+}
+
+func (b *batcher) collect(first *estReq) []*estReq {
+	batch := []*estReq{first}
+	if b.cfg.MaxDelay <= 0 {
+		// Opportunistic: take whatever is already queued, never wait.
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case r, ok := <-b.ch:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, r)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(b.cfg.MaxDelay)
+	defer timer.Stop()
+	for len(batch) < b.cfg.MaxBatch {
+		select {
+		case r, ok := <-b.ch:
+			if !ok {
+				// Channel drained and closed: flush what we have; the next
+				// loop iteration in run sees the close and exits.
+				return batch
+			}
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+func (b *batcher) flush(batch []*estReq) {
+	if b.onBatch != nil {
+		b.onBatch(len(batch))
+	}
+	parallel.Do(len(batch), parallel.Workers(b.cfg.Workers), func(i int) {
+		r := batch[i]
+		r.done <- estimateOne(r.ctx, r.est, r.q)
+	})
+}
+
+// estimateOne dispatches one query, preserving the resilience chain's
+// detailed outcome when available.
+func estimateOne(ctx context.Context, est estimator.Estimator, q *sqlparse.Query) EstResult {
+	if res, ok := est.(*resilience.Resilient); ok {
+		d := res.EstimateDetailed(ctx, q)
+		return EstResult{Estimate: d.Estimate, Stage: d.Stage, Degraded: d.Degraded}
+	}
+	v, err := estimator.EstimateWithContext(ctx, est, q)
+	return EstResult{Estimate: v, Err: err}
+}

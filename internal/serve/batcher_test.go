@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"qfe/internal/sqlparse"
+)
+
+func parseQ(t *testing.T, sql string) *sqlparse.Query {
+	t.Helper()
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// batchRecorder collects onBatch calls.
+type batchRecorder struct {
+	mu    sync.Mutex
+	sizes []int
+}
+
+func (r *batchRecorder) record(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sizes = append(r.sizes, n)
+}
+
+func (r *batchRecorder) total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, s := range r.sizes {
+		n += s
+	}
+	return n
+}
+
+// TestBatcherCoalesces: with a long MaxDelay, a full batch must flush on
+// size, not on the timer — concurrent requests share one flush.
+func TestBatcherCoalesces(t *testing.T) {
+	rec := &batchRecorder{}
+	b := newBatcher(BatcherConfig{MaxBatch: 4, MaxDelay: 5 * time.Second, Workers: 2}, rec.record)
+	defer b.Close()
+	q := parseQ(t, stubSQL)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	results := make([]EstResult, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = b.Do(context.Background(), constEst(9), q)
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("4 requests with MaxBatch=4 took %v; a full batch must flush before MaxDelay", elapsed)
+	}
+	for i, r := range results {
+		if r.Err != nil || r.Estimate != 9 {
+			t.Errorf("result %d = %+v, want estimate 9", i, r)
+		}
+	}
+	if rec.total() != 4 {
+		t.Errorf("batches carried %d queries in total, want 4", rec.total())
+	}
+}
+
+// TestBatcherFlushesOnDelay: a lone request must not wait for a batch to
+// fill — MaxDelay bounds its extra latency.
+func TestBatcherFlushesOnDelay(t *testing.T) {
+	b := newBatcher(BatcherConfig{MaxBatch: 1000, MaxDelay: 5 * time.Millisecond}, nil)
+	defer b.Close()
+	start := time.Now()
+	r := b.Do(context.Background(), constEst(3), parseQ(t, stubSQL))
+	if r.Err != nil || r.Estimate != 3 {
+		t.Fatalf("result = %+v, want estimate 3", r)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("lone request took %v; MaxDelay must bound the wait", elapsed)
+	}
+}
+
+// TestBatcherOpportunistic: MaxDelay 0 never waits at all.
+func TestBatcherOpportunistic(t *testing.T) {
+	b := newBatcher(BatcherConfig{MaxBatch: 16, MaxDelay: 0}, nil)
+	defer b.Close()
+	for i := 0; i < 5; i++ {
+		if r := b.Do(context.Background(), constEst(1), parseQ(t, stubSQL)); r.Err != nil || r.Estimate != 1 {
+			t.Fatalf("request %d: %+v", i, r)
+		}
+	}
+}
+
+// pickyEst maps specific queries to specific values, so order preservation
+// is observable.
+type pickyEst map[*sqlparse.Query]float64
+
+func (p pickyEst) Name() string { return "picky" }
+func (p pickyEst) Estimate(q *sqlparse.Query) (float64, error) {
+	v, ok := p[q]
+	if !ok {
+		return 0, errors.New("unknown query")
+	}
+	return v, nil
+}
+
+// TestDoBatchKeepsOrder: client batches bypass coalescing but must return
+// results in input order.
+func TestDoBatchKeepsOrder(t *testing.T) {
+	rec := &batchRecorder{}
+	b := newBatcher(BatcherConfig{Workers: 3}, rec.record)
+	defer b.Close()
+
+	est := pickyEst{}
+	qs := make([]*sqlparse.Query, 8)
+	for i := range qs {
+		qs[i] = parseQ(t, stubSQL)
+		est[qs[i]] = float64(i * 10)
+	}
+	out := b.DoBatch(context.Background(), est, qs)
+	if len(out) != len(qs) {
+		t.Fatalf("got %d results, want %d", len(out), len(qs))
+	}
+	for i, r := range out {
+		if r.Err != nil || r.Estimate != float64(i*10) {
+			t.Errorf("result %d = %+v, want estimate %d", i, r, i*10)
+		}
+	}
+	if rec.total() != 8 || len(rec.sizes) != 1 {
+		t.Errorf("recorded batches %v, want one batch of 8", rec.sizes)
+	}
+	if out := b.DoBatch(context.Background(), est, nil); len(out) != 0 {
+		t.Errorf("empty batch returned %d results", len(out))
+	}
+}
+
+// TestBatcherCloseAnswersEverything: requests already enqueued when Close
+// begins must still receive results (graceful drain), and requests after
+// Close must get ErrServerClosed.
+func TestBatcherCloseAnswersEverything(t *testing.T) {
+	b := newBatcher(BatcherConfig{MaxBatch: 4, MaxDelay: time.Millisecond, Queue: 64}, nil)
+	q := parseQ(t, stubSQL)
+
+	reqs := make([]*estReq, 16)
+	for i := range reqs {
+		reqs[i] = &estReq{ctx: context.Background(), est: constEst(5), q: q, done: make(chan EstResult, 1)}
+		if err := b.submit(reqs[i]); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	b.Close()
+	for i, r := range reqs {
+		select {
+		case res := <-r.done:
+			if res.Err != nil || res.Estimate != 5 {
+				t.Errorf("drained request %d = %+v, want estimate 5", i, res)
+			}
+		default:
+			t.Fatalf("request %d was never answered after Close", i)
+		}
+	}
+
+	if r := b.Do(context.Background(), constEst(5), q); !errors.Is(r.Err, ErrServerClosed) {
+		t.Errorf("post-close Do: err = %v, want ErrServerClosed", r.Err)
+	}
+	// Close is idempotent.
+	b.Close()
+}
+
+// TestBatcherContextCancelled: a cancelled context surfaces as an error
+// result, not a hang.
+func TestBatcherContextCancelled(t *testing.T) {
+	b := newBatcher(BatcherConfig{MaxBatch: 4, MaxDelay: time.Millisecond}, nil)
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := b.Do(ctx, constEst(5), parseQ(t, stubSQL))
+	if r.Err == nil {
+		t.Errorf("cancelled context produced %+v, want an error", r)
+	}
+}

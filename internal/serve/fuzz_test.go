@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"qfe/internal/estimator"
+)
+
+// FuzzEstimateHandler feeds arbitrary bodies to POST /v1/estimate. The
+// contract under fuzzing: malformed SQL or JSON is always a client error
+// (4xx) — never a 5xx, never a panic. The SQL seeds mirror the sqlparse
+// fuzz corpus (internal/sqlparse/fuzz_test.go) so everything the parser's
+// fuzzer has learned to probe also hits the HTTP surface, wrapped in the
+// request shapes the handler accepts.
+//
+// Explore with `go test -fuzz=FuzzEstimateHandler ./internal/serve`.
+func FuzzEstimateHandler(f *testing.F) {
+	sqlSeeds := []string{
+		"SELECT count(*) FROM t",
+		"SELECT count(*) FROM t WHERE a = 1;",
+		"SELECT count(*) FROM t WHERE a >= -5 AND b <> 3 OR c < 100",
+		"SELECT count(*) FROM forest WHERE (A1 = 1 OR A1 = 2) AND A2 <= 9",
+		"SELECT count(*) FROM a, b WHERE a.id = b.a_id AND a.x > 0",
+		"SELECT count(*) FROM t WHERE s = 'it''s' AND n LIKE 'ab%'",
+		"SELECT count(*) FROM t WHERE a = 1 GROUP BY b, c",
+		"select COUNT ( * ) from T where 5 < x",
+		"SELECT count(*) FROM t WHERE",
+		"SELECT count(*) FROM t WHERE a = ",
+		"SELECT count(*) FROM t WHERE a = 'unterminated",
+		"SELECT count(*) FROM t WHERE a ! b",
+		"((((((((",
+		"",
+		"\x00\xff\xfe",
+		"SELECT count(*) FROM t WHERE " + strings.Repeat("(", 10000) + "a = 1" + strings.Repeat(")", 10000),
+	}
+	for _, s := range sqlSeeds {
+		// Each parser seed in both request shapes the handler accepts.
+		single, _ := json.Marshal(map[string]any{"sql": s})
+		f.Add(string(single))
+		batch, _ := json.Marshal(map[string]any{"queries": []map[string]any{{"sql": s}, {"sql": s, "actual": 3.5}}})
+		f.Add(string(batch))
+		// And raw, as a malformed JSON body.
+		f.Add(s)
+	}
+	// JSON-shape seeds: unknown fields, wrong types, contradictory shapes,
+	// hostile numbers.
+	for _, s := range []string{
+		`{}`,
+		`{"sql":""}`,
+		`{"sql":"SELECT count(*) FROM forest WHERE A1 = 1","queries":[{"sql":"x"}]}`,
+		`{"sql":"SELECT count(*) FROM forest WHERE A1 = 1","bogus":true}`,
+		`{"sql":123}`,
+		`{"queries":"not an array"}`,
+		`{"queries":[]}`,
+		`{"queries":[{"sql":"SELECT count(*) FROM forest WHERE A1 = 1","actual":-1}]}`,
+		`{"sql":"SELECT count(*) FROM forest WHERE A1 = 1","timeoutMs":-5}`,
+		`{"sql":"SELECT count(*) FROM forest WHERE A1 = 1","timeoutMs":99999999999}`,
+		`{"sql":"SELECT count(*) FROM forest WHERE A1 = 1","model":"ghost"}`,
+		`{"sql":"SELECT count(*) FROM nosuchtable WHERE a = 1"}`,
+		`{"sql":"SELECT count(*) FROM forest WHERE A1 = 'str'"}`,
+		`[1,2,3]`,
+		`null`,
+		"{\"sql\":\"\x00\"}",
+	} {
+		f.Add(s)
+	}
+
+	db, _ := testEnv(f)
+	reg := NewRegistry()
+	if _, err := reg.Register("indep", &estimator.Independence{DB: db}, ModelInfo{Kind: "baseline"}); err != nil {
+		f.Fatal(err)
+	}
+	srv, err := New(Config{Registry: reg, DB: db, Batcher: BatcherConfig{MaxBatch: 4}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(srv.Close)
+	h := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/estimate", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // must not panic
+		if rec.Code >= 500 {
+			t.Fatalf("body %q produced status %d:\n%s", body, rec.Code, rec.Body.String())
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the servemetrics layer: lock-free atomic counters plus
+// fixed-bucket histograms, rendered at /metrics as expvar-style JSON. The
+// hot path pays a handful of atomic adds per request; rendering walks the
+// counters without stopping traffic.
+
+// histogram is a fixed-bucket histogram safe for concurrent Observe. bounds
+// are ascending upper bounds; an implicit +Inf bucket catches the tail.
+// Buckets are cumulative-free (each count is its own bucket); renderers sum
+// if they want CDFs.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds ...float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records v. NaN observations are dropped (they would poison sum).
+func (h *histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// bucket is one rendered histogram bucket: the upper bound ("inf" for the
+// overflow bucket) and its count.
+type bucket struct {
+	LE any   `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// snapshot renders the histogram as an ordered bucket list plus count/sum.
+func (h *histogram) snapshot() map[string]any {
+	buckets := make([]bucket, 0, len(h.counts))
+	for i := range h.counts {
+		le := any("inf")
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		buckets = append(buckets, bucket{LE: le, N: h.counts[i].Load()})
+	}
+	return map[string]any{
+		"buckets": buckets,
+		"count":   h.count.Load(),
+		"sum":     math.Float64frombits(h.sum.Load()),
+	}
+}
+
+// Metrics aggregates the server's counters. All fields are safe for
+// concurrent use; the zero value is not usable — call newMetrics.
+type Metrics struct {
+	start time.Time
+
+	requests  atomic.Int64 // HTTP requests to /v1/estimate (single or batch)
+	queries   atomic.Int64 // individual queries estimated
+	batches   atomic.Int64 // batches flushed through the parallel path
+	batchedQs atomic.Int64 // queries carried by those batches
+	shed      atomic.Int64 // requests rejected by admission control (429)
+	drained   atomic.Int64 // requests rejected because the server is draining (503)
+	degraded  atomic.Int64 // queries answered by a non-primary resilience stage
+	estErrors atomic.Int64 // queries whose estimation failed (client-visible 4xx)
+	swaps     atomic.Int64 // model registry loads/swaps
+
+	ok2xx  atomic.Int64
+	err4xx atomic.Int64
+	err5xx atomic.Int64
+
+	inFlight atomic.Int64
+
+	latency *histogram // per-query estimation latency, microseconds
+	qerror  *histogram // q-error of estimates with reported actuals
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		start: time.Now(),
+		// Latency buckets span 100µs to 1s in roughly 1-2.5-5 steps; the
+		// paper's featurization costs sit well under the first bucket, so
+		// the low end resolves model inference, the high end deadline blowups.
+		latency: newHistogram(100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000),
+		// Q-error buckets follow the paper's reporting granularity.
+		qerror: newHistogram(1.5, 2, 3, 5, 10, 25, 100, 1_000, 10_000),
+	}
+}
+
+// observeQuery records one estimated query's latency and degradation.
+func (m *Metrics) observeQuery(d time.Duration, degraded bool, err error) {
+	m.queries.Add(1)
+	m.latency.Observe(float64(d.Microseconds()))
+	if degraded {
+		m.degraded.Add(1)
+	}
+	if err != nil {
+		m.estErrors.Add(1)
+	}
+}
+
+// observeBatch records one coalesced batch of n queries.
+func (m *Metrics) observeBatch(n int) {
+	m.batches.Add(1)
+	m.batchedQs.Add(int64(n))
+}
+
+// ObserveQError records the q-error of an estimate whose true cardinality
+// the client reported (post-execution feedback).
+func (m *Metrics) ObserveQError(q float64) { m.qerror.Observe(q) }
+
+func (m *Metrics) observeStatus(code int) {
+	switch {
+	case code >= 500:
+		m.err5xx.Add(1)
+	case code >= 400:
+		m.err4xx.Add(1)
+	case code >= 200 && code < 300:
+		m.ok2xx.Add(1)
+	}
+}
+
+// Snapshot renders every counter into a flat, JSON-marshalable map.
+// encoding/json sorts map keys, so the output is deterministic.
+func (m *Metrics) Snapshot() map[string]any {
+	return map[string]any{
+		"uptime_seconds":        time.Since(m.start).Seconds(),
+		"requests_total":        m.requests.Load(),
+		"queries_total":         m.queries.Load(),
+		"batches_total":         m.batches.Load(),
+		"batched_queries_total": m.batchedQs.Load(),
+		"shed_total":            m.shed.Load(),
+		"drained_total":         m.drained.Load(),
+		"degraded_total":        m.degraded.Load(),
+		"estimate_errors_total": m.estErrors.Load(),
+		"model_swaps_total":     m.swaps.Load(),
+		"responses_2xx":         m.ok2xx.Load(),
+		"responses_4xx":         m.err4xx.Load(),
+		"responses_5xx":         m.err5xx.Load(),
+		"in_flight":             m.inFlight.Load(),
+		"latency_micros":        m.latency.snapshot(),
+		"qerror":                m.qerror.snapshot(),
+	}
+}
+
+// ServeHTTP renders the snapshot as JSON, expvar-style.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m.Snapshot()) //nolint:errcheck // best-effort scrape output
+}

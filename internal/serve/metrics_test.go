@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram(10, 100)
+	for _, v := range []float64{5, 10, 11, 100, 1000} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+
+	snap := h.snapshot()
+	buckets := snap["buckets"].([]bucket)
+	if len(buckets) != 3 {
+		t.Fatalf("got %d buckets, want 3 (two bounds + inf)", len(buckets))
+	}
+	// Bounds are inclusive upper bounds: 5 and 10 land in le=10; 11 and 100
+	// in le=100; 1000 overflows.
+	wantCounts := []int64{2, 2, 1}
+	for i, b := range buckets {
+		if b.N != wantCounts[i] {
+			t.Errorf("bucket %d (le=%v): n=%d, want %d", i, b.LE, b.N, wantCounts[i])
+		}
+	}
+	if buckets[2].LE != "inf" {
+		t.Errorf("overflow bucket le = %v, want \"inf\"", buckets[2].LE)
+	}
+	if snap["count"] != int64(5) {
+		t.Errorf("count = %v, want 5 (NaN dropped)", snap["count"])
+	}
+	if snap["sum"] != float64(5+10+11+100+1000) {
+		t.Errorf("sum = %v, want 1126", snap["sum"])
+	}
+}
+
+// TestHistogramConcurrent validates the CAS-accumulated sum under
+// contention (run with -race).
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(1, 2, 3)
+	const goroutines, each = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := h.snapshot()
+	if snap["count"] != int64(goroutines*each) {
+		t.Errorf("count = %v, want %d", snap["count"], goroutines*each)
+	}
+	if snap["sum"] != float64(goroutines*each) {
+		t.Errorf("sum = %v, want %d (no lost CAS updates)", snap["sum"], goroutines*each)
+	}
+}
+
+func TestMetricsSnapshotAndServeHTTP(t *testing.T) {
+	m := newMetrics()
+	m.observeQuery(250*time.Microsecond, true, nil)
+	m.observeQuery(time.Millisecond, false, errTest)
+	m.observeBatch(2)
+	m.ObserveQError(3.5)
+	m.observeStatus(200)
+	m.observeStatus(404)
+	m.observeStatus(500)
+
+	snap := m.Snapshot()
+	checks := map[string]int64{
+		"queries_total":         2,
+		"degraded_total":        1,
+		"estimate_errors_total": 1,
+		"batches_total":         1,
+		"batched_queries_total": 2,
+		"responses_2xx":         1,
+		"responses_4xx":         1,
+		"responses_5xx":         1,
+	}
+	for key, want := range checks {
+		if snap[key] != want {
+			t.Errorf("%s = %v, want %d", key, snap[key], want)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var rendered map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &rendered); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	for key := range snap {
+		if _, ok := rendered[key]; !ok {
+			t.Errorf("rendered metrics missing %q", key)
+		}
+	}
+	lat := rendered["latency_micros"].(map[string]any)
+	if lat["count"] != 2.0 {
+		t.Errorf("rendered latency count = %v, want 2", lat["count"])
+	}
+}
+
+// errTest is a fixed error for metrics accounting.
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test failure" }
+
+func TestLimiter(t *testing.T) {
+	l := newLimiter(2)
+	if l.capacity() != 2 {
+		t.Fatalf("capacity = %d, want 2", l.capacity())
+	}
+	if !l.tryAcquire() || !l.tryAcquire() {
+		t.Fatal("acquiring up to capacity must succeed")
+	}
+	if l.tryAcquire() {
+		t.Fatal("over-capacity acquire succeeded")
+	}
+	if l.inFlight() != 2 {
+		t.Errorf("inFlight = %d, want 2", l.inFlight())
+	}
+	l.release()
+	if !l.tryAcquire() {
+		t.Error("acquire after release failed")
+	}
+	// A zero/negative bound still admits one request at a time.
+	if newLimiter(0).capacity() != 1 {
+		t.Error("limiter with bound 0 must clamp to 1")
+	}
+}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"qfe/internal/estimator"
+	"qfe/internal/sqlparse"
+)
+
+func TestRegistryDefaultAndResolve(t *testing.T) {
+	r := NewRegistry()
+	if _, _, err := r.Resolve(""); err == nil {
+		t.Error("empty registry resolved a default")
+	}
+
+	if _, err := r.Register("", constEst(1), ModelInfo{}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := r.Register("x", nil, ModelInfo{}); err == nil {
+		t.Error("nil estimator accepted")
+	}
+
+	if _, err := r.Register("b", constEst(2), ModelInfo{Kind: "stub"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("a", constEst(1), ModelInfo{Kind: "stub"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first registration is the default, under "", "default", and List.
+	for _, name := range []string{"", "default", "b"} {
+		est, info, err := r.Resolve(name)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", name, err)
+		}
+		if est.(constEst) != 2 || info.Name != "b" {
+			t.Errorf("Resolve(%q) = %v/%v, want model b", name, est, info.Name)
+		}
+	}
+	if _, _, err := r.Resolve("nope"); err == nil {
+		t.Error("unknown model resolved")
+	}
+
+	models, def := r.List()
+	if def != "b" || len(models) != 2 || models[0].Name != "a" || models[1].Name != "b" {
+		t.Errorf("List = %v default %q, want [a b] / b", models, def)
+	}
+
+	if err := r.SetDefault("nope"); err == nil {
+		t.Error("SetDefault accepted an unknown model")
+	}
+	if err := r.SetDefault("a"); err != nil {
+		t.Fatal(err)
+	}
+	if est, _, _ := r.Resolve(""); est.(constEst) != 1 {
+		t.Errorf("after SetDefault(a), default resolves to %v", est)
+	}
+}
+
+func TestRegistryReplaceBumpsGeneration(t *testing.T) {
+	r := NewRegistry()
+	i1, err := r.Register("m", constEst(1), ModelInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := r.Register("m", constEst(2), ModelInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i2.Generation <= i1.Generation {
+		t.Errorf("generations %d then %d; replacement must advance", i1.Generation, i2.Generation)
+	}
+	est, info, err := r.Resolve("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.(constEst) != 2 || info.Generation != i2.Generation {
+		t.Errorf("resolved %v gen %d, want the replacement", est, info.Generation)
+	}
+	if models, _ := r.List(); len(models) != 1 {
+		t.Errorf("replacement duplicated the entry: %v", models)
+	}
+}
+
+// wrapEst proves registry.Wrap intercepted the registration.
+type wrapEst struct{ inner estimator.Estimator }
+
+func (w wrapEst) Name() string { return "wrapped(" + w.inner.Name() + ")" }
+func (w wrapEst) Estimate(q *sqlparse.Query) (float64, error) {
+	v, err := w.inner.Estimate(q)
+	return v * 2, err
+}
+
+func TestRegistryWrap(t *testing.T) {
+	r := NewRegistry()
+	r.Wrap = func(e estimator.Estimator) estimator.Estimator { return wrapEst{inner: e} }
+	info, err := r.Register("m", constEst(21), ModelInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Estimator != "wrapped(const)" {
+		t.Errorf("info.Estimator = %q, want the wrapper's name", info.Estimator)
+	}
+	est, _, err := r.Resolve("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := est.Estimate(nil)
+	if err != nil || v != 42 {
+		t.Errorf("wrapped estimate = %v, %v; want 42", v, err)
+	}
+}
+
+// TestRegistryConcurrentSwap hammers Resolve/List from readers while a
+// writer keeps replacing the entry; run with -race. Readers must always see
+// a fully-formed entry — one of the registered values, never nil, never a
+// partial snapshot.
+func TestRegistryConcurrentSwap(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register("m", constEst(0), ModelInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				est, info, err := r.Resolve("")
+				if err != nil || est == nil || info.Name != "m" {
+					t.Errorf("Resolve during swap: est=%v info=%v err=%v", est, info, err)
+					return
+				}
+				if models, def := r.List(); def != "m" || len(models) != 1 {
+					t.Errorf("List during swap: %v / %q", models, def)
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i <= 200; i++ {
+		if _, err := r.Register("m", constEst(i), ModelInfo{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if est, _, _ := r.Resolve("m"); est.(constEst) != 200 {
+		t.Errorf("final entry = %v, want the last write", est)
+	}
+}
+
+func TestRegistryLoadFile(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.LoadFile("m", "/no/such/file.json", nil, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	junk := filepath.Join(t.TempDir(), "junk.json")
+	if err := os.WriteFile(junk, []byte("definitely not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.LoadFile("m", junk, nil, false); err == nil {
+		t.Error("junk file accepted")
+	}
+	if models, _ := r.List(); len(models) != 0 {
+		t.Errorf("failed loads left entries behind: %v", models)
+	}
+
+	// A real snapshot loads, registers, and can be made the default.
+	db, set := testEnv(t)
+	loc := trainLocal(t, db, set[:200], 8)
+	path := filepath.Join(t.TempDir(), "m.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loc.SaveJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := r.LoadFile("real", path, db, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != estimator.KindLocal || info.Source != path || info.Models == 0 {
+		t.Errorf("info = %+v, want kind local, the file path, and a model count", info)
+	}
+	if _, def := r.List(); def != "real" {
+		t.Errorf("default = %q, want real (makeDefault was set)", def)
+	}
+	if _, _, err := r.Resolve(""); err != nil {
+		t.Errorf("default resolve after LoadFile: %v", err)
+	}
+}

@@ -1,0 +1,430 @@
+// Package serve is the production front door of the estimation system: a
+// long-lived HTTP server that routes estimate requests to a hot-swappable
+// model registry, coalesces concurrent single-query requests into batches
+// for the parallel estimation path, and protects itself with admission
+// control, per-request deadlines, and graceful drain.
+//
+// Endpoints:
+//
+//	POST /v1/estimate    — estimate one query ({"sql": ...}) or a batch
+//	                       ({"queries": [{"sql": ...}, ...]}); optional
+//	                       "model", "timeoutMs", and per-query "actual"
+//	                       (true cardinality feedback, recorded as q-error)
+//	GET  /v1/models      — list registered models and the default
+//	POST /v1/models/load — load a persisted snapshot from disk and swap it
+//	                       in without dropping in-flight requests
+//	GET  /healthz        — 200 while serving, 503 while draining
+//	GET  /metrics        — expvar-style JSON counters and histograms
+//
+// The server never queues unboundedly: past MaxInFlight concurrent estimate
+// requests it sheds with 429 + Retry-After. During drain (SIGTERM) new
+// requests get 503 while in-flight ones run to completion.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"qfe/internal/estimator"
+	"qfe/internal/exec"
+	"qfe/internal/metrics"
+	"qfe/internal/sqlparse"
+	"qfe/internal/table"
+)
+
+// Config assembles a Server. Registry is required; everything else has
+// serviceable defaults.
+type Config struct {
+	// Registry resolves model names to estimators.
+	Registry *Registry
+	// DB binds string literals in incoming SQL to dictionary codes and
+	// schema-validates loaded snapshots. May be nil when queries carry no
+	// string predicates and snapshots are trusted.
+	DB *table.DB
+	// Batcher tunes request coalescing.
+	Batcher BatcherConfig
+	// MaxInFlight bounds concurrent estimate requests; excess is shed with
+	// 429. Default 64.
+	MaxInFlight int
+	// RetryAfter is the hint sent with 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// DefaultTimeout bounds each request's estimation when the request
+	// itself asks for nothing tighter. Zero means no implicit deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts. Default 30s.
+	MaxTimeout time.Duration
+	// MaxQueriesPerRequest bounds client batch size (413 past it).
+	// Default 256.
+	MaxQueriesPerRequest int
+	// MaxBodyBytes bounds request bodies. Default 1 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxQueriesPerRequest < 1 {
+		c.MaxQueriesPerRequest = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Batcher.Queue < c.MaxInFlight {
+		// An admitted request must always find queue room; see batcher.
+		c.Batcher.Queue = c.MaxInFlight
+	}
+	return c
+}
+
+// Server wires the registry, batcher, admission control, and metrics behind
+// an http.Handler. Create with New, expose via Handler, stop with Drain
+// then Close.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	batcher  *batcher
+	limiter  *limiter
+	metrics  *Metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New builds a Server from cfg. cfg.Registry must be non-nil.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("serve: Config.Registry is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		limiter: newLimiter(cfg.MaxInFlight),
+		metrics: newMetrics(),
+	}
+	s.batcher = newBatcher(cfg.Batcher, s.metrics.observeBatch)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/v1/models/load", s.handleLoad)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.Handle("/metrics", s.metrics)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (status-code accounting wrapped
+// around the mux).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		s.mux.ServeHTTP(sw, r)
+		s.metrics.observeStatus(sw.status())
+	})
+}
+
+// Metrics exposes the server's counters (tests and embedding daemons).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain puts the server into drain mode: new estimate requests are refused
+// with 503 while requests already admitted keep running. Call before
+// http.Server.Shutdown so the listener close has nothing left to wait for
+// beyond the in-flight tail.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Close stops the batcher after flushing everything queued. Call after the
+// HTTP listener is down.
+func (s *Server) Close() { s.batcher.Close() }
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// ---- request/response shapes ----
+
+type estimateItem struct {
+	SQL string `json:"sql"`
+	// Actual, when > 0, is the client-reported true cardinality (e.g.
+	// post-execution feedback); the server records the estimate's q-error.
+	Actual float64 `json:"actual,omitempty"`
+}
+
+type estimateRequest struct {
+	Model     string         `json:"model,omitempty"`
+	TimeoutMS int64          `json:"timeoutMs,omitempty"`
+	SQL       string         `json:"sql,omitempty"`
+	Actual    float64        `json:"actual,omitempty"`
+	Queries   []estimateItem `json:"queries,omitempty"`
+}
+
+type estimateResult struct {
+	Estimate float64 `json:"estimate,omitempty"`
+	Stage    string  `json:"stage,omitempty"`
+	Degraded bool    `json:"degraded,omitempty"`
+	Micros   int64   `json:"micros"`
+	Error    string  `json:"error,omitempty"`
+}
+
+type estimateResponse struct {
+	Model string `json:"model"`
+	estimateResult
+	Results []estimateResult `json:"results,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client went away
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// ---- handlers ----
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.draining.Load() {
+		s.metrics.drained.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if !s.limiter.tryAcquire() {
+		s.metrics.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.999)))
+		writeError(w, http.StatusTooManyRequests, "at capacity (%d requests in flight); retry later", s.limiter.capacity())
+		return
+	}
+	defer s.limiter.release()
+	s.metrics.requests.Add(1)
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	var req estimateRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	single := req.SQL != ""
+	if single == (len(req.Queries) > 0) {
+		writeError(w, http.StatusBadRequest, `provide exactly one of "sql" or "queries"`)
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxQueriesPerRequest {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d queries exceeds the %d-query limit", len(req.Queries), s.cfg.MaxQueriesPerRequest)
+		return
+	}
+
+	est, info, err := s.reg.Resolve(req.Model)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+
+	if single {
+		q, err := s.parseAndBind(req.SQL)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		res := s.estimateTimed(ctx, est, q, req.Actual)
+		if res.Error != "" {
+			// The query parsed but could not be estimated (e.g. no model for
+			// its sub-schema): the request, not the server, is at fault.
+			writeJSON(w, http.StatusUnprocessableEntity, estimateResponse{Model: info.Name, estimateResult: res})
+			return
+		}
+		writeJSON(w, http.StatusOK, estimateResponse{Model: info.Name, estimateResult: res})
+		return
+	}
+
+	// Client batch: parse everything first (parse errors are per-item), then
+	// push the parseable queries through the parallel path in one go.
+	results := make([]estimateResult, len(req.Queries))
+	qs := make([]*sqlparse.Query, 0, len(req.Queries))
+	idx := make([]int, 0, len(req.Queries))
+	for i, item := range req.Queries {
+		q, err := s.parseAndBind(item.SQL)
+		if err != nil {
+			results[i] = estimateResult{Error: err.Error()}
+			s.metrics.estErrors.Add(1)
+			continue
+		}
+		qs = append(qs, q)
+		idx = append(idx, i)
+	}
+	start := time.Now()
+	batchRes := s.batcher.DoBatch(ctx, est, qs)
+	elapsed := time.Since(start)
+	for j, br := range batchRes {
+		i := idx[j]
+		results[i] = toResult(br, elapsed/time.Duration(max(1, len(batchRes))))
+		s.metrics.observeQuery(elapsed/time.Duration(max(1, len(batchRes))), br.Degraded, br.Err)
+		if br.Err == nil && req.Queries[i].Actual > 0 {
+			s.metrics.ObserveQError(metrics.QError(req.Queries[i].Actual, br.Estimate))
+		}
+	}
+	writeJSON(w, http.StatusOK, estimateResponse{Model: info.Name, Results: results})
+}
+
+// estimateTimed runs one query through the coalescing batcher and records
+// its metrics.
+func (s *Server) estimateTimed(ctx context.Context, est estimator.Estimator, q *sqlparse.Query, actual float64) estimateResult {
+	start := time.Now()
+	br := s.batcher.Do(ctx, est, q)
+	elapsed := time.Since(start)
+	s.metrics.observeQuery(elapsed, br.Degraded, br.Err)
+	if br.Err == nil && actual > 0 {
+		s.metrics.ObserveQError(metrics.QError(actual, br.Estimate))
+	}
+	return toResult(br, elapsed)
+}
+
+func toResult(br EstResult, elapsed time.Duration) estimateResult {
+	res := estimateResult{Micros: elapsed.Microseconds()}
+	if br.Err != nil {
+		res.Error = br.Err.Error()
+		return res
+	}
+	res.Estimate = br.Estimate
+	res.Stage = br.Stage
+	res.Degraded = br.Degraded
+	return res
+}
+
+// requestContext derives the estimation deadline: the client's timeoutMs
+// (capped at MaxTimeout) or the server default.
+func (s *Server) requestContext(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	if d <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// parseAndBind turns SQL text into a bound query. All failures here are the
+// client's (4xx): syntax errors, unknown tables/columns, type mismatches.
+func (s *Server) parseAndBind(sql string) (*sqlparse.Query, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.DB != nil {
+		if err := exec.Bind(q, s.cfg.DB); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	models, def := s.reg.List()
+	writeJSON(w, http.StatusOK, map[string]any{"default": def, "models": models})
+}
+
+type loadRequest struct {
+	Name    string `json:"name"`
+	Path    string `json:"path"`
+	Default bool   `json:"default,omitempty"`
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req loadRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Name == "" || req.Path == "" {
+		writeError(w, http.StatusBadRequest, `"name" and "path" are required`)
+		return
+	}
+	info, err := s.reg.LoadFile(req.Name, req.Path, s.cfg.DB, req.Default)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "load %q from %s: %v", req.Name, req.Path, err)
+		return
+	}
+	s.metrics.swaps.Add(1)
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	models, _ := s.reg.List()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": len(models)})
+}
