@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check ci serve-smoke fmt fuzz fuzz-serve bench
+.PHONY: build test vet race check ci serve-smoke fmt fuzz fuzz-serve fuzz-store soak bench
 
 build:
 	$(GO) build ./...
@@ -22,11 +22,14 @@ race:
 check: vet race
 
 # ci is the one-shot pipeline entry point: vet, build everything, then the
-# full suite under the race detector.
+# suite under the race detector in -short mode — the crash/chaos sweeps
+# (internal/store, internal/resilience/faultinject) collapse to one seed per
+# fault point so the pipeline stays fast. `make check` runs the default
+# width; `make soak` runs the wide sweep.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
 # serve-smoke boots the estimation daemon on a random port, fires a single
 # and a batched estimate, scrapes /metrics, and shuts down cleanly — an
@@ -51,3 +54,17 @@ fuzz:
 # a 5xx or a panic.
 fuzz-serve:
 	$(GO) test -fuzz=FuzzEstimateHandler -fuzztime=30s ./internal/serve
+
+# Fuzz the persistence loaders: LoadEstimator must never panic on mutated
+# snapshot bytes — the property the crash-safe store's recovery path leans
+# on when it replays whatever survived a crash.
+fuzz-store:
+	$(GO) test -fuzz=FuzzLoadEstimator -fuzztime=30s ./internal/estimator
+
+# soak is the wide crash/chaos sweep: every filesystem fault kind (crash,
+# torn write, ENOSPC, short read, bit flip) at every mutating/reading
+# operation ordinal, QFE_SOAK widening the per-point seed sweep, all under
+# the race detector, plus the recovery and canary suites end to end.
+soak:
+	QFE_SOAK=1 $(GO) test -race -run 'Crash|Chaos|Fault|Sweep|Recover|Canary|Rollback|Supervisor' \
+		./internal/store/... ./internal/resilience/faultinject/... ./internal/serve/... ./cmd/cardestd/...

@@ -10,6 +10,8 @@
 //	         [-entries 32] [-seed 1] [-workers 0] [-save file]
 //	         [-timeout 100ms] [-fallback] [-max-batch 16] [-batch-delay 2ms]
 //	         [-max-inflight 64] [-drain-timeout 10s] [-smoke]
+//	         [-store dir] [-canary 200] [-canary-median 10] [-canary-p95 100]
+//	         [-probe-interval 30s] [-model-root dir]
 //
 // Without -load, the daemon builds the synthetic forest database and trains
 // a model at boot (same flags as cardest), registered as "boot". With
@@ -17,6 +19,22 @@
 // global, or hybrid snapshots); the database is still built so string
 // literals bind and snapshots schema-validate. Further models can be loaded
 // at runtime via POST /v1/models/load without dropping in-flight requests.
+//
+// -store arms the crash-safe model lifecycle (see internal/store and
+// internal/serve): admitted models are persisted as checksummed, fsync'd
+// generations under the directory; at boot the newest valid generation is
+// recovered instead of retraining (torn or corrupt generations are
+// quarantined and skipped); every publish — boot, recovery, or
+// POST /v1/models/load — must clear a canary gate over -canary held-out
+// labeled queries (median/p95 q-error ceilings -canary-median/-canary-p95,
+// rejected loads get 409); a background supervisor re-probes the live model
+// every -probe-interval and, on degradation, quarantines its generation and
+// rolls the registry back to the previous good one automatically.
+// POST /v1/models/rollback does the same on demand.
+//
+// POST /v1/models/load is confined to -model-root (default: the -store
+// directory, else the working directory): paths that escape it via ".." or
+// an absolute prefix elsewhere are refused with 400.
 //
 // -timeout and -fallback arm the resilience chain around every registered
 // model, exactly as in cardest: a deadline-bound learned stage degrading
@@ -48,6 +66,7 @@ import (
 	"qfe/internal/estimator"
 	"qfe/internal/resilience"
 	"qfe/internal/serve"
+	"qfe/internal/store"
 	"qfe/internal/table"
 )
 
@@ -70,6 +89,13 @@ type options struct {
 	maxInFly   int
 	drainTO    time.Duration
 	smoke      bool
+
+	storeDir     string
+	canaryN      int
+	canaryMedian float64
+	canaryP95    float64
+	probeEvery   time.Duration
+	modelRoot    string
 }
 
 func main() {
@@ -92,6 +118,12 @@ func main() {
 	flag.IntVar(&o.maxInFly, "max-inflight", 64, "concurrent estimate requests admitted before shedding with 429")
 	flag.DurationVar(&o.drainTO, "drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM")
 	flag.BoolVar(&o.smoke, "smoke", false, "run the self-test (random port, batched estimate, metrics scrape) and exit")
+	flag.StringVar(&o.storeDir, "store", "", "crash-safe model store directory (enables canary-gated publishes, recovery, and rollback)")
+	flag.IntVar(&o.canaryN, "canary", 200, "held-out labeled queries for the canary gate (0 disables the gate)")
+	flag.Float64Var(&o.canaryMedian, "canary-median", 10, "canary ceiling on median q-error")
+	flag.Float64Var(&o.canaryP95, "canary-p95", 100, "canary ceiling on p95 q-error")
+	flag.DurationVar(&o.probeEvery, "probe-interval", 30*time.Second, "how often the supervisor re-probes the live model (0 disables)")
+	flag.StringVar(&o.modelRoot, "model-root", "", "directory POST /v1/models/load may read snapshots from (default: -store dir, else the working directory)")
 	flag.Parse()
 
 	if err := run(o, os.Stdout); err != nil {
@@ -105,8 +137,12 @@ func run(o options, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "building forest environment (%d rows)...\n", o.rows)
+	canaryN := 0
+	if o.storeDir != "" {
+		canaryN = o.canaryN
+	}
 	env, err := cli.BuildForestEnv(cli.ForestSpec{
-		Rows: o.rows, TrainN: o.trainN, TestN: 0, Seed: o.seed, QFT: o.qft,
+		Rows: o.rows, TrainN: o.trainN, TestN: canaryN, Seed: o.seed, QFT: o.qft,
 	})
 	if err != nil {
 		return err
@@ -114,6 +150,46 @@ func run(o options, out io.Writer) error {
 
 	reg := serve.NewRegistry()
 	reg.Wrap = resilienceWrap(env.DB, o)
+
+	// -store arms the crash-safe lifecycle: recovery at boot, canary-gated
+	// publishes, supervised rollback.
+	var lc *serve.Lifecycle
+	recovered := false
+	if o.storeDir != "" {
+		st, err := store.Open(o.storeDir, store.Options{})
+		if err != nil {
+			return fmt.Errorf("open model store: %w", err)
+		}
+		rep := st.Recovery()
+		fmt.Fprintf(out, "model store %s: %d valid generation(s), %d corrupt rejected, %d quarantined, %d temp swept\n",
+			o.storeDir, rep.Valid, rep.Corrupt, rep.Quarantined, rep.TempSwept)
+		lc, err = serve.NewLifecycle(serve.LifecycleConfig{
+			Registry: reg,
+			Store:    st,
+			DB:       env.DB,
+			Canary: serve.CanaryConfig{
+				Workload:  env.Test,
+				MaxMedian: o.canaryMedian,
+				MaxP95:    o.canaryP95,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if o.load == "" {
+			pub, ok, err := lc.Recover(context.Background(), "boot", true)
+			if err != nil {
+				return err
+			}
+			if ok {
+				recovered = true
+				fmt.Fprintf(out, "recovered %s (%s) from store generation %d: canary %s\n",
+					pub.Info.Name, pub.Info.Kind, pub.Info.StoreGeneration, pub.Canary.Reason)
+			} else {
+				fmt.Fprintln(out, "no recoverable generation in the store; training a boot model")
+			}
+		}
+	}
 
 	if o.load != "" {
 		for _, pair := range strings.Split(o.load, ",") {
@@ -127,7 +203,7 @@ func run(o options, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "loaded %s (%s, %s) from %s\n", info.Name, info.Kind, info.Estimator, path)
 		}
-	} else {
+	} else if !recovered {
 		loc, err := cli.NewLocalEstimator(env.DB, cli.TrainSpec{
 			QFT: o.qft, Model: o.model, Entries: o.entries, Workers: o.workers,
 		})
@@ -141,13 +217,27 @@ func run(o options, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "trained in %v (model size %.1f kB)\n",
 			time.Since(start).Round(time.Millisecond), float64(loc.MemoryBytes())/1024)
+		var snap bytes.Buffer
+		if err := loc.SaveJSON(&snap); err != nil {
+			return err
+		}
 		if o.save != "" {
-			if err := saveSnapshot(loc, o.save); err != nil {
+			if err := os.WriteFile(o.save, snap.Bytes(), 0o644); err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "saved boot snapshot to %s\n", o.save)
 		}
-		if _, err := reg.Register("boot", loc, serve.ModelInfo{Kind: estimator.KindLocal, Source: "boot"}); err != nil {
+		if lc != nil {
+			pub, err := lc.Publish(context.Background(), serve.PublishSpec{
+				Name: "boot", Est: loc, Kind: estimator.KindLocal, Source: "boot",
+				Snapshot: snap.Bytes(), MakeDefault: true,
+			})
+			if err != nil {
+				return fmt.Errorf("boot model: %w", err)
+			}
+			fmt.Fprintf(out, "boot model admitted (canary %s), persisted as generation %d\n",
+				pub.Canary.Reason, pub.Info.StoreGeneration)
+		} else if _, err := reg.Register("boot", loc, serve.ModelInfo{Kind: estimator.KindLocal, Source: "boot"}); err != nil {
 			return err
 		}
 	}
@@ -157,15 +247,30 @@ func run(o options, out io.Writer) error {
 		}
 	}
 
+	modelRoot := o.modelRoot
+	if modelRoot == "" {
+		modelRoot = o.storeDir
+	}
+	if modelRoot == "" {
+		modelRoot = "."
+	}
 	srv, err := serve.New(serve.Config{
 		Registry:       reg,
 		DB:             env.DB,
 		Batcher:        serve.BatcherConfig{MaxBatch: o.maxBatch, MaxDelay: o.batchDelay, Workers: o.workers},
 		MaxInFlight:    o.maxInFly,
 		DefaultTimeout: o.timeout,
+		ModelRoot:      modelRoot,
+		Lifecycle:      lc,
 	})
 	if err != nil {
 		return err
+	}
+
+	if lc != nil && o.probeEvery > 0 {
+		sup := serve.StartSupervisor(serve.SupervisorConfig{Lifecycle: lc, Interval: o.probeEvery})
+		defer sup.Close()
+		fmt.Fprintf(out, "supervisor probing the live model every %v\n", o.probeEvery)
 	}
 
 	if o.smoke {
@@ -194,19 +299,6 @@ func resilienceWrap(db *table.DB, o options) func(estimator.Estimator) estimator
 			LastResort: resilience.RowCount{DB: db},
 		}, stages...)
 	}
-}
-
-// saveSnapshot persists any serializable estimator kind.
-func saveSnapshot(est interface{ SaveJSON(io.Writer) error }, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := est.SaveJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 // listenAndServe runs the daemon until SIGTERM/SIGINT, then drains: new

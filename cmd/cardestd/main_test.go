@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -80,5 +81,65 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	o.defName = "ghost"
 	if err := run(o, io.Discard); err == nil {
 		t.Error("-default with an unknown model accepted")
+	}
+}
+
+// TestRunStoreRecovery drives the crash-safe lifecycle across daemon
+// restarts: the first run trains and persists a generation, the second
+// recovers it from disk instead of retraining, and after at-rest corruption
+// the third rejects the damaged generation and falls back to training a
+// fresh one.
+func TestRunStoreRecovery(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	withStore := func() options {
+		o := tinyOptions()
+		o.storeDir = dir
+		o.canaryN = 60
+		// Generous ceilings: this test exercises persistence and recovery,
+		// not the tiny boot model's accuracy.
+		o.canaryMedian = 1e6
+		o.canaryP95 = 1e9
+		return o
+	}
+
+	var out strings.Builder
+	if err := run(withStore(), &out); err != nil {
+		t.Fatalf("first run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "persisted as generation 1") {
+		t.Fatalf("first run did not persist generation 1:\n%s", out.String())
+	}
+
+	out.Reset()
+	o := withStore()
+	o.probeEvery = time.Hour // exercise supervisor start/stop too
+	if err := run(o, &out); err != nil {
+		t.Fatalf("second run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "recovered boot") ||
+		strings.Contains(out.String(), "training boot model") {
+		t.Fatalf("second run did not recover from the store:\n%s", out.String())
+	}
+
+	// Bit-rot the persisted snapshot: the third run must quarantine it at
+	// open, report the corruption, and retrain rather than serve bad bytes.
+	snapPath := filepath.Join(dir, "gen-00000001", "snapshot.qfes")
+	raw, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(snapPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := run(withStore(), &out); err != nil {
+		t.Fatalf("post-corruption run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"1 corrupt rejected", "no recoverable generation", "persisted as generation 2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("post-corruption run missing %q:\n%s", want, out.String())
+		}
 	}
 }

@@ -27,7 +27,7 @@ type testEnv struct {
 
 var envCache *testEnv
 
-func env(t *testing.T) *testEnv {
+func env(t testing.TB) *testEnv {
 	t.Helper()
 	if envCache != nil {
 		return envCache

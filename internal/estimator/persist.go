@@ -48,8 +48,15 @@ type savedSubSchema struct {
 	Payload json.RawMessage `json:"payload"`
 }
 
+// FormatVersion is the snapshot format this build writes and reads. Every
+// SaveJSON output is self-identifying — the top-level envelope carries both
+// "format" and "kind" — so any tool (or a future build with a different
+// format) can classify a snapshot from its first bytes without kind-specific
+// parsing. Loaders reject other versions loudly.
+const FormatVersion = 1
+
 // currentFormat guards against silently loading incompatible files.
-const currentFormat = 1
+const currentFormat = FormatVersion
 
 // SaveJSON writes the trained estimator to w. Only GB- and NN-backed locals
 // are serializable (MSCN-backed estimators are global models with their own
@@ -371,6 +378,11 @@ func LoadEstimator(r io.Reader, db *table.DB) (Estimator, string, error) {
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, "", fmt.Errorf("estimator: decode: %w", err)
+	}
+	// Check the format before dispatching so a version mismatch reads as
+	// exactly that, not as some kind-specific field error downstream.
+	if probe.Format != FormatVersion {
+		return nil, "", fmt.Errorf("estimator: snapshot format %d is not supported (this build reads format %d)", probe.Format, FormatVersion)
 	}
 	switch probe.Kind {
 	case "", KindLocal:

@@ -1,0 +1,97 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFSTornWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFS(nil, FSConfig{Seed: 7, Kind: FSTornWrite, Op: 1})
+	path := filepath.Join(dir, "f")
+	data := []byte("0123456789abcdef")
+	err := ffs.WriteFile(path, data)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write returned %v, want ErrCrashed", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("torn write left no file: %v", rerr)
+	}
+	if len(got) >= len(data) {
+		t.Fatalf("torn write persisted %d bytes of %d, want a strict prefix", len(got), len(data))
+	}
+	if string(got) != string(data[:len(got)]) {
+		t.Fatalf("torn content %q is not a prefix of %q", got, data)
+	}
+	// The filesystem is dead from here on.
+	if err := ffs.MkdirAll(filepath.Join(dir, "d")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash MkdirAll = %v, want ErrCrashed", err)
+	}
+	if _, err := ffs.ReadFile(path); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash ReadFile = %v, want ErrCrashed", err)
+	}
+	if !ffs.Crashed() || ffs.Injected() != 1 {
+		t.Errorf("Crashed=%v Injected=%d, want true/1", ffs.Crashed(), ffs.Injected())
+	}
+}
+
+func TestFSENOSPCFiresOnce(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFS(nil, FSConfig{Seed: 3, Kind: FSENOSPC, Op: 1})
+	path := filepath.Join(dir, "f")
+	if err := ffs.WriteFile(path, []byte("doomed-write")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("first write = %v, want ErrNoSpace", err)
+	}
+	if ffs.Crashed() {
+		t.Fatal("ENOSPC must not crash the filesystem")
+	}
+	if err := ffs.WriteFile(path, []byte("retry")); err != nil {
+		t.Fatalf("retry after ENOSPC: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "retry" {
+		t.Fatalf("file after retry = %q, %v", got, err)
+	}
+}
+
+func TestFSReadFaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	short := NewFS(nil, FSConfig{Seed: 5, Kind: FSShortRead, Op: 2})
+	if got, err := short.ReadFile(path); err != nil || string(got) != string(data) {
+		t.Fatalf("read 1 (clean) = %q, %v", got, err)
+	}
+	got, err := short.ReadFile(path)
+	if err != nil || len(got) >= len(data) {
+		t.Fatalf("read 2 (short) returned %d bytes of %d, err %v", len(got), len(data), err)
+	}
+	if got, err := short.ReadFile(path); err != nil || string(got) != string(data) {
+		t.Fatalf("read 3 (clean again) = %q, %v", got, err)
+	}
+
+	flip := NewFS(nil, FSConfig{Seed: 5, Kind: FSBitFlip, Op: 1})
+	mut, err := flip.ReadFile(path)
+	if err != nil || len(mut) != len(data) {
+		t.Fatalf("bit-flip read: len %d err %v", len(mut), err)
+	}
+	diff := 0
+	for i := range mut {
+		if mut[i] != data[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("bit-flip changed %d bytes, want exactly 1", diff)
+	}
+	if raw, _ := os.ReadFile(path); string(raw) != string(data) {
+		t.Error("bit-flip mutated the file at rest; it must only corrupt the read")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"qfe/internal/sqlparse"
+	"qfe/internal/testutil"
 )
 
 func parseQ(t *testing.T, sql string) *sqlparse.Query {
@@ -44,6 +45,7 @@ func (r *batchRecorder) total() int {
 // TestBatcherCoalesces: with a long MaxDelay, a full batch must flush on
 // size, not on the timer — concurrent requests share one flush.
 func TestBatcherCoalesces(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	rec := &batchRecorder{}
 	b := newBatcher(BatcherConfig{MaxBatch: 4, MaxDelay: 5 * time.Second, Workers: 2}, rec.record)
 	defer b.Close()
@@ -76,6 +78,7 @@ func TestBatcherCoalesces(t *testing.T) {
 // TestBatcherFlushesOnDelay: a lone request must not wait for a batch to
 // fill — MaxDelay bounds its extra latency.
 func TestBatcherFlushesOnDelay(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	b := newBatcher(BatcherConfig{MaxBatch: 1000, MaxDelay: 5 * time.Millisecond}, nil)
 	defer b.Close()
 	start := time.Now()
@@ -90,6 +93,7 @@ func TestBatcherFlushesOnDelay(t *testing.T) {
 
 // TestBatcherOpportunistic: MaxDelay 0 never waits at all.
 func TestBatcherOpportunistic(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	b := newBatcher(BatcherConfig{MaxBatch: 16, MaxDelay: 0}, nil)
 	defer b.Close()
 	for i := 0; i < 5; i++ {
@@ -115,6 +119,7 @@ func (p pickyEst) Estimate(q *sqlparse.Query) (float64, error) {
 // TestDoBatchKeepsOrder: client batches bypass coalescing but must return
 // results in input order.
 func TestDoBatchKeepsOrder(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	rec := &batchRecorder{}
 	b := newBatcher(BatcherConfig{Workers: 3}, rec.record)
 	defer b.Close()
@@ -146,6 +151,7 @@ func TestDoBatchKeepsOrder(t *testing.T) {
 // begins must still receive results (graceful drain), and requests after
 // Close must get ErrServerClosed.
 func TestBatcherCloseAnswersEverything(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	b := newBatcher(BatcherConfig{MaxBatch: 4, MaxDelay: time.Millisecond, Queue: 64}, nil)
 	q := parseQ(t, stubSQL)
 
@@ -178,6 +184,7 @@ func TestBatcherCloseAnswersEverything(t *testing.T) {
 // TestBatcherContextCancelled: a cancelled context surfaces as an error
 // result, not a hang.
 func TestBatcherContextCancelled(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	b := newBatcher(BatcherConfig{MaxBatch: 4, MaxDelay: time.Millisecond}, nil)
 	defer b.Close()
 	ctx, cancel := context.WithCancel(context.Background())

@@ -9,6 +9,8 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"qfe/internal/testutil"
 )
 
 // TestGracefulDrain covers the shutdown contract end to end over a real
@@ -16,6 +18,7 @@ import (
 // requests are refused with 503 while draining, and the listener closes
 // within the drain deadline once the in-flight tail finishes.
 func TestGracefulDrain(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	est := &blockingEst{started: make(chan struct{}), release: make(chan struct{})}
 	srv := newStubServer(t, est, func(c *Config) {
 		c.Batcher = BatcherConfig{MaxBatch: 1}

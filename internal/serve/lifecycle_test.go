@@ -1,0 +1,571 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"qfe/internal/estimator"
+	"qfe/internal/resilience/faultinject"
+	"qfe/internal/sqlparse"
+	"qfe/internal/store"
+	"qfe/internal/table"
+	"qfe/internal/testutil"
+	"qfe/internal/workload"
+)
+
+// ---- fixtures ----
+
+// canarySet builds a synthetic canary workload whose queries all have true
+// cardinality card, so constEst canaries have exact, predictable q-errors.
+func canarySet(tb testing.TB, n int, card int64) workload.Set {
+	tb.Helper()
+	q, err := sqlparse.Parse(stubSQL)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	set := make(workload.Set, n)
+	for i := range set {
+		set[i] = workload.Labeled{Query: q, Card: card}
+	}
+	return set
+}
+
+// lifecycleEnv builds a labeled canary split plus good and bad trained
+// models: the bad one is trained on labels inflated a millionfold, so it
+// loads cleanly and estimates terribly — the failure mode the canary gate
+// exists to catch.
+func lifecycleEnv(tb testing.TB) (*table.DB, workload.Set, *estimator.Local, *estimator.Local) {
+	tb.Helper()
+	db, set := testEnv(tb)
+	good := trainLocal(tb, db, set[:400], 16)
+	poisoned := make(workload.Set, 400)
+	for i, l := range set[:400] {
+		poisoned[i] = workload.Labeled{Query: l.Query, Card: l.Card*1_000_000 + 1_000_000_000}
+	}
+	bad := trainLocal(tb, db, poisoned, 16)
+	return db, set[500:700], good, bad
+}
+
+func snapshotBytes(tb testing.TB, loc *estimator.Local) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := loc.SaveJSON(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newLifecycle(tb testing.TB, dir string, canary CanaryConfig, db *table.DB) (*Lifecycle, *Registry) {
+	tb.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	reg := NewRegistry()
+	lc, err := NewLifecycle(LifecycleConfig{Registry: reg, Store: st, DB: db, Canary: canary})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return lc, reg
+}
+
+// looseCanary passes any roughly-sane trained model but fails the poisoned
+// one by orders of magnitude.
+func looseCanary(ws workload.Set) CanaryConfig {
+	return CanaryConfig{Workload: ws, MaxMedian: 1_000, MaxP95: 100_000, Slack: 1e9}
+}
+
+// ---- canary gate ----
+
+func TestRunCanaryVerdicts(t *testing.T) {
+	ws := canarySet(t, 20, 100)
+	cfg := CanaryConfig{Workload: ws, MaxMedian: 10, MaxP95: 100}
+
+	if res := RunCanary(context.Background(), constEst(100), cfg, nil); !res.Pass || res.Median != 1 {
+		t.Errorf("exact model: %+v, want pass with median 1", res)
+	}
+	if res := RunCanary(context.Background(), constEst(100_000), cfg, nil); res.Pass || res.Median != 1000 {
+		t.Errorf("1000x-off model: %+v, want fail with median 1000", res)
+	}
+	if res := RunCanary(context.Background(), errEst{}, cfg, nil); res.Pass || res.Failed != len(ws) || !math.IsInf(res.Median, 1) {
+		t.Errorf("erroring model: %+v, want all-failed with Inf median", res)
+	}
+	if res := RunCanary(context.Background(), constEst(1), CanaryConfig{}, nil); !res.Pass {
+		t.Errorf("empty workload: %+v, want pass", res)
+	}
+
+	// Incumbent regression: q-error 5 clears the absolute ceiling of 10 but
+	// regresses past an incumbent at 2 with slack 2.
+	incumbent := &CanaryResult{Median: 2, P95: 2}
+	if res := RunCanary(context.Background(), constEst(500), cfg, incumbent); res.Pass {
+		t.Errorf("regressing model: %+v, want fail vs incumbent 2 with slack 2", res)
+	}
+	if res := RunCanary(context.Background(), constEst(250), cfg, &CanaryResult{Median: 2, P95: 3}); !res.Pass {
+		t.Errorf("within-slack model: %+v, want pass (q-error 2.5 <= incumbent 2 x slack 2)", res)
+	}
+}
+
+func TestRunCanaryTimeout(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := RunCanary(ctx, constEst(1), CanaryConfig{Workload: canarySet(t, 5, 1)}, nil)
+	if res.Pass || !math.IsInf(res.Median, 1) {
+		t.Fatalf("cancelled canary: %+v, want fail with Inf median", res)
+	}
+}
+
+// ---- lifecycle publish / recover / rollback ----
+
+func TestLifecyclePublishGate(t *testing.T) {
+	db, canaryWS, good, bad := lifecycleEnv(t)
+	dir := t.TempDir()
+	lc, reg := newLifecycle(t, dir, looseCanary(canaryWS), db)
+
+	// The bad model is rejected: nothing registered, nothing persisted.
+	_, err := lc.Publish(context.Background(), PublishSpec{
+		Name: "live", Est: bad, Kind: "local", Source: "test",
+		Snapshot: snapshotBytes(t, bad), MakeDefault: true,
+	})
+	if !errors.Is(err, ErrCanaryRejected) {
+		t.Fatalf("bad model publish: err = %v, want ErrCanaryRejected", err)
+	}
+	if _, _, err := reg.Resolve("live"); err == nil {
+		t.Fatal("rejected model reached the registry")
+	}
+	if _, ok := lc.Store().Latest(); ok {
+		t.Fatal("rejected model reached the store")
+	}
+
+	// The good model is admitted, persisted, and becomes the default.
+	pub, err := lc.Publish(context.Background(), PublishSpec{
+		Name: "live", Est: good, Kind: "local", Source: "test",
+		Snapshot: snapshotBytes(t, good), MakeDefault: true,
+	})
+	if err != nil {
+		t.Fatalf("good model publish: %v", err)
+	}
+	if !pub.Canary.Pass || pub.Info.StoreGeneration == 0 {
+		t.Fatalf("publication = %+v, want passing canary and a store generation", pub)
+	}
+	if g, ok := lc.Store().Latest(); !ok || g.Number != pub.Info.StoreGeneration {
+		t.Fatalf("store latest = %+v/%v, want generation %d", g, ok, pub.Info.StoreGeneration)
+	}
+	if _, info, err := reg.Resolve(""); err != nil || info.Name != "live" || info.Canary == nil {
+		t.Fatalf("default = %+v (err %v), want live with canary info", info, err)
+	}
+}
+
+func TestLifecycleRecoverAcrossRestart(t *testing.T) {
+	db, canaryWS, good, _ := lifecycleEnv(t)
+	dir := t.TempDir()
+	lc, _ := newLifecycle(t, dir, looseCanary(canaryWS), db)
+	pub, err := lc.Publish(context.Background(), PublishSpec{
+		Name: "live", Est: good, Kind: "local",
+		Snapshot: snapshotBytes(t, good), MakeDefault: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": fresh store handle, fresh registry, recover from disk.
+	lc2, reg2 := newLifecycle(t, dir, looseCanary(canaryWS), db)
+	rec, ok, err := lc2.Recover(context.Background(), "live", true)
+	if err != nil || !ok {
+		t.Fatalf("recover: ok=%v err=%v", ok, err)
+	}
+	if rec.Info.StoreGeneration != pub.Info.StoreGeneration {
+		t.Fatalf("recovered generation %d, want %d", rec.Info.StoreGeneration, pub.Info.StoreGeneration)
+	}
+	est, _, err := reg2.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := canaryWS[0].Query
+	want, err := good.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := est.Estimate(q)
+	if err != nil || got != want {
+		t.Fatalf("recovered estimate = %v (err %v), want %v", got, err, want)
+	}
+
+	// Empty store: recover reports no candidate without erroring.
+	lc3, _ := newLifecycle(t, t.TempDir(), looseCanary(canaryWS), db)
+	if _, ok, err := lc3.Recover(context.Background(), "live", true); ok || err != nil {
+		t.Fatalf("empty-store recover: ok=%v err=%v, want false/nil", ok, err)
+	}
+}
+
+func TestLifecycleRollback(t *testing.T) {
+	db, canaryWS, good, _ := lifecycleEnv(t)
+	dir := t.TempDir()
+	lc, reg := newLifecycle(t, dir, looseCanary(canaryWS), db)
+
+	publish := func() Publication {
+		t.Helper()
+		pub, err := lc.Publish(context.Background(), PublishSpec{
+			Name: "live", Est: good, Kind: "local",
+			Snapshot: snapshotBytes(t, good), MakeDefault: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pub
+	}
+	p1, p2 := publish(), publish()
+	if p2.Info.StoreGeneration <= p1.Info.StoreGeneration {
+		t.Fatalf("generations %d then %d, want ascending", p1.Info.StoreGeneration, p2.Info.StoreGeneration)
+	}
+
+	rb, err := lc.Rollback(context.Background(), "test")
+	if err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	if rb.Info.StoreGeneration != p1.Info.StoreGeneration {
+		t.Fatalf("rolled back to generation %d, want %d", rb.Info.StoreGeneration, p1.Info.StoreGeneration)
+	}
+	if _, info, err := reg.Resolve(""); err != nil || info.StoreGeneration != p1.Info.StoreGeneration {
+		t.Fatalf("default after rollback = %+v (err %v)", info, err)
+	}
+	// The quarantined generation is gone from the store's valid set.
+	if g, ok := lc.Store().Latest(); !ok || g.Number != p1.Info.StoreGeneration {
+		t.Fatalf("store latest after rollback = %+v/%v", g, ok)
+	}
+
+	// With only one generation left, a further rollback has no target and
+	// must not dislodge the survivor... but it quarantines the live
+	// generation first, so the error names the real condition.
+	if _, err := lc.Rollback(context.Background(), "again"); !errors.Is(err, ErrNoRollbackTarget) {
+		t.Fatalf("rollback with no target: %v, want ErrNoRollbackTarget", err)
+	}
+}
+
+// ---- supervisor ----
+
+// TestSupervisorAutoRollback is the live-degradation scenario: a model that
+// passed its admission canary starts failing in production (injected via
+// faultinject), the supervisor's probe catches it, quarantines its
+// generation, and promotes the previous good generation — all without an
+// operator.
+func TestSupervisorAutoRollback(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	db, canaryWS, good, _ := lifecycleEnv(t)
+	dir := t.TempDir()
+	lc, reg := newLifecycle(t, dir, looseCanary(canaryWS), db)
+
+	// Generation 1: a plain good model.
+	p1, err := lc.Publish(context.Background(), PublishSpec{
+		Name: "live", Est: good, Kind: "local",
+		Snapshot: snapshotBytes(t, good), MakeDefault: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 2: the same model behind a (currently clean) fault
+	// injector. Its snapshot is the clean model, so rolling back to it later
+	// would also work.
+	inj := faultinject.New(good, faultinject.Config{Seed: 1})
+	p2, err := lc.Publish(context.Background(), PublishSpec{
+		Name: "live", Est: inj, Kind: "local",
+		Snapshot: snapshotBytes(t, good), MakeDefault: true,
+	})
+	if err != nil {
+		t.Fatalf("clean injector failed its admission canary: %v", err)
+	}
+
+	sv := StartSupervisor(SupervisorConfig{
+		Lifecycle: lc,
+		Interval:  time.Hour, // probes only via ProbeNow: deterministic
+		Logf:      t.Logf,
+	})
+	defer sv.Close()
+
+	// Healthy probe: no rollback, canary status refreshed in the registry.
+	out, err := sv.ProbeNow()
+	if err != nil || !out.Probed || !out.Result.Pass || out.RolledBack {
+		t.Fatalf("healthy probe: %+v err=%v", out, err)
+	}
+
+	// The live model degrades: every call now errors.
+	inj.SetConfig(faultinject.Config{Seed: 2, ErrorRate: 1})
+	out, err = sv.ProbeNow()
+	if err != nil {
+		t.Fatalf("degraded probe: %v", err)
+	}
+	if !out.Probed || out.Result.Pass || !out.RolledBack {
+		t.Fatalf("degraded probe outcome: %+v, want fail + rollback", out)
+	}
+	if out.RolledBackTo.Info.StoreGeneration != p1.Info.StoreGeneration {
+		t.Fatalf("rolled back to generation %d, want %d", out.RolledBackTo.Info.StoreGeneration, p1.Info.StoreGeneration)
+	}
+	if _, info, err := reg.Resolve(""); err != nil || info.StoreGeneration != p1.Info.StoreGeneration {
+		t.Fatalf("default after auto-rollback = %+v (err %v)", info, err)
+	}
+	if g, ok := lc.Store().Latest(); !ok || g.Number == p2.Info.StoreGeneration {
+		t.Fatalf("degraded generation %d still newest in store (latest %+v ok=%v)", p2.Info.StoreGeneration, g, ok)
+	}
+
+	// A post-rollback probe of the restored model passes again.
+	if out, err := sv.ProbeNow(); err != nil || !out.Result.Pass || out.RolledBack {
+		t.Fatalf("post-rollback probe: %+v err=%v", out, err)
+	}
+}
+
+func TestSupervisorCloseIdempotent(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	lc, err := NewLifecycle(LifecycleConfig{Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := StartSupervisor(SupervisorConfig{Lifecycle: lc, Interval: time.Millisecond, Logf: t.Logf})
+	time.Sleep(5 * time.Millisecond) // let a few (no-op) scheduled probes fire
+	sv.Close()
+	sv.Close()
+	if out, err := sv.ProbeNow(); err != nil || out.Probed {
+		t.Fatalf("probe after close: %+v err=%v, want zero outcome", out, err)
+	}
+}
+
+// ---- end-to-end over a real listener ----
+
+// TestCanaryGateEndToEnd is the acceptance scenario: over a real listener,
+// a canary-failing snapshot POSTed to /v1/models/load is refused with 409
+// and never serves; a good snapshot is admitted; after the live model
+// degrades, the supervisor rolls back automatically and the server keeps
+// answering estimates throughout. Lifecycle metrics land in /metrics.
+func TestCanaryGateEndToEnd(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	db, canaryWS, good, bad := lifecycleEnv(t)
+	root := t.TempDir()
+	lc, reg := newLifecycle(t, filepath.Join(root, "store"), looseCanary(canaryWS), db)
+
+	// Write both snapshots under the model root.
+	for name, loc := range map[string]*estimator.Local{"good.json": good, "bad.json": bad} {
+		if err := os.WriteFile(filepath.Join(root, name), snapshotBytes(t, loc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv, err := New(Config{
+		Registry:  reg,
+		DB:        db,
+		Batcher:   BatcherConfig{MaxBatch: 8, MaxDelay: time.Millisecond},
+		ModelRoot: root,
+		Lifecycle: lc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path string, body any) (int, map[string]any) {
+		t.Helper()
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		return resp.StatusCode, v
+	}
+
+	// Bootstrap: the good snapshot is admitted over HTTP.
+	code, resp := post("/v1/models/load", map[string]any{"name": "live", "path": "good.json", "default": true})
+	if code != http.StatusOK {
+		t.Fatalf("good load: status %d body %v", code, resp)
+	}
+
+	// The bad snapshot is refused with 409 and the canary verdict; the
+	// default and the store are untouched.
+	genBefore, _ := lc.Store().Latest()
+	code, resp = post("/v1/models/load", map[string]any{"name": "live", "path": "bad.json", "default": true})
+	if code != http.StatusConflict {
+		t.Fatalf("bad load: status %d body %v, want 409", code, resp)
+	}
+	if resp["canary"] == nil {
+		t.Fatalf("409 body %v carries no canary verdict", resp)
+	}
+	if g, ok := lc.Store().Latest(); !ok || g.Number != genBefore.Number {
+		t.Fatalf("store advanced to %+v/%v after a rejected load", g, ok)
+	}
+
+	// Path escapes are refused before any IO.
+	for _, p := range []string{"../outside.json", "/etc/passwd"} {
+		if code, resp := post("/v1/models/load", map[string]any{"name": "x", "path": p}); code != http.StatusBadRequest {
+			t.Fatalf("escape %q: status %d body %v, want 400", p, code, resp)
+		}
+	}
+
+	// Estimates flow, served by the admitted model.
+	probe := canaryWS[0].Query.String()
+	code, resp = post("/v1/estimate", map[string]any{"sql": probe})
+	if code != http.StatusOK {
+		t.Fatalf("estimate: status %d body %v", code, resp)
+	}
+
+	// Publish a second, degradable generation directly through the
+	// lifecycle (the registry is shared with the listener), then degrade it
+	// and let the supervisor roll back.
+	inj := faultinject.New(good, faultinject.Config{Seed: 1})
+	p2, err := lc.Publish(context.Background(), PublishSpec{
+		Name: "live", Est: inj, Kind: "local",
+		Snapshot: snapshotBytes(t, good), MakeDefault: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := StartSupervisor(SupervisorConfig{Lifecycle: lc, Interval: time.Hour, Logf: t.Logf})
+	defer sv.Close()
+	inj.SetConfig(faultinject.Config{Seed: 2, ErrorRate: 1})
+	out, err := sv.ProbeNow()
+	if err != nil || !out.RolledBack {
+		t.Fatalf("supervised rollback: %+v err=%v", out, err)
+	}
+
+	// The server keeps answering after the rollback.
+	code, resp = post("/v1/estimate", map[string]any{"sql": probe})
+	if code != http.StatusOK {
+		t.Fatalf("estimate after rollback: status %d body %v", code, resp)
+	}
+
+	// /v1/models shows the rolled-back generation with its canary verdict.
+	getResp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models map[string]any
+	if err := json.NewDecoder(getResp.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	live := models["models"].([]any)[0].(map[string]any)
+	if live["storeGeneration"] == float64(p2.Info.StoreGeneration) {
+		t.Fatalf("live model still on degraded generation: %v", live)
+	}
+	if live["canary"] == nil {
+		t.Fatalf("live model carries no canary status: %v", live)
+	}
+
+	// /metrics carries the lifecycle trail.
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.NewDecoder(mResp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mResp.Body.Close()
+	if snap["canary_fail_total"].(float64) < 2 { // bad load + degraded probe
+		t.Errorf("canary_fail_total = %v, want >= 2", snap["canary_fail_total"])
+	}
+	if snap["rollbacks_total"].(float64) != 1 {
+		t.Errorf("rollbacks_total = %v, want 1", snap["rollbacks_total"])
+	}
+	if snap["quarantined_total"].(float64) < 1 {
+		t.Errorf("quarantined_total = %v, want >= 1", snap["quarantined_total"])
+	}
+	if snap["last_rollback_unix"].(float64) == 0 {
+		t.Errorf("last_rollback_unix = 0 after a rollback")
+	}
+	if snap["store_generation"].(float64) == 0 {
+		t.Errorf("store_generation = 0 with a store-backed live model")
+	}
+}
+
+// TestRollbackEndpoint drives POST /v1/models/rollback over the handler.
+func TestRollbackEndpoint(t *testing.T) {
+	db, canaryWS, good, _ := lifecycleEnv(t)
+	lc, reg := newLifecycle(t, t.TempDir(), looseCanary(canaryWS), db)
+	publish := func() Publication {
+		t.Helper()
+		pub, err := lc.Publish(context.Background(), PublishSpec{
+			Name: "live", Est: good, Kind: "local",
+			Snapshot: snapshotBytes(t, good), MakeDefault: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pub
+	}
+	p1 := publish()
+	publish()
+
+	srv, err := New(Config{Registry: reg, DB: db, Lifecycle: lc, Batcher: BatcherConfig{MaxBatch: 2, MaxDelay: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+
+	if code, _ := getJSON(t, h, "/v1/models/rollback"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", code)
+	}
+	code, resp := postJSON(t, h, "/v1/models/rollback", map[string]any{"reason": "operator test"})
+	if code != http.StatusOK {
+		t.Fatalf("rollback: status %d body %v", code, resp)
+	}
+	info := resp["info"].(map[string]any)
+	if info["storeGeneration"] != float64(p1.Info.StoreGeneration) {
+		t.Errorf("rolled back to %v, want generation %d", info["storeGeneration"], p1.Info.StoreGeneration)
+	}
+	// Out of targets now (only one valid generation remains, and rolling
+	// back quarantines it): 409.
+	if code, resp := rawPost(t, h, "/v1/models/rollback", nil); code != http.StatusConflict {
+		t.Errorf("rollback without target: status %d body %v, want 409", code, resp)
+	}
+
+	// Without a lifecycle the endpoint is 501.
+	plain := newStubServer(t, constEst(1), nil)
+	if code, _ := rawPost(t, plain.Handler(), "/v1/models/rollback", nil); code != http.StatusNotImplemented {
+		t.Errorf("no lifecycle: status %d, want 501", code)
+	}
+}
+
+// TestModelRootConfinement covers resolveModelPath directly.
+func TestModelRootConfinement(t *testing.T) {
+	srv := newStubServer(t, constEst(1), func(c *Config) { c.ModelRoot = "/models" })
+	cases := []struct {
+		path string
+		ok   bool
+	}{
+		{"a.json", true},
+		{"sub/dir/a.json", true},
+		{"/models/a.json", true},
+		{"./a.json", true},
+		{"sub/../a.json", true},
+		{"../a.json", false},
+		{"sub/../../a.json", false},
+		{"/etc/passwd", false},
+		{"/modelsX/a.json", false},
+		{"..", false},
+	}
+	for _, c := range cases {
+		_, err := srv.resolveModelPath(c.path)
+		if (err == nil) != c.ok {
+			t.Errorf("resolveModelPath(%q): err = %v, want ok=%v", c.path, err, c.ok)
+		}
+	}
+	// Unrestricted when no root is configured.
+	open := newStubServer(t, constEst(1), nil)
+	if _, err := open.resolveModelPath("/anywhere/at/all"); err != nil {
+		t.Errorf("no root: %v", err)
+	}
+}

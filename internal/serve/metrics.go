@@ -87,6 +87,17 @@ type Metrics struct {
 	estErrors atomic.Int64 // queries whose estimation failed (client-visible 4xx)
 	swaps     atomic.Int64 // model registry loads/swaps
 
+	// Model-lifecycle counters (canary gate, supervisor, rollback).
+	canaryPass  atomic.Int64 // canary runs that admitted a model
+	canaryFail  atomic.Int64 // canary runs that rejected a model
+	rollbacks   atomic.Int64 // registry rollbacks to a previous generation
+	quarantines atomic.Int64 // generations quarantined (publish-time or live)
+
+	lastRollbackUnix atomic.Int64  // unix seconds of the last rollback, 0 = never
+	storeGeneration  atomic.Uint64 // store generation backing the live model
+	canaryMaxMedian  atomic.Uint64 // configured gate thresholds, float64 bits
+	canaryMaxP95     atomic.Uint64
+
 	ok2xx  atomic.Int64
 	err4xx atomic.Int64
 	err5xx atomic.Int64
@@ -131,6 +142,56 @@ func (m *Metrics) observeBatch(n int) {
 // the client reported (post-execution feedback).
 func (m *Metrics) ObserveQError(q float64) { m.qerror.Observe(q) }
 
+// The lifecycle observers tolerate a nil receiver so a Lifecycle can run
+// before (or without) being bound to a server's metrics.
+
+// observeCanary records one canary verdict.
+func (m *Metrics) observeCanary(pass bool) {
+	if m == nil {
+		return
+	}
+	if pass {
+		m.canaryPass.Add(1)
+	} else {
+		m.canaryFail.Add(1)
+	}
+}
+
+// observeRollback records a registry rollback at time t.
+func (m *Metrics) observeRollback(t time.Time) {
+	if m == nil {
+		return
+	}
+	m.rollbacks.Add(1)
+	m.lastRollbackUnix.Store(t.Unix())
+}
+
+// observeQuarantine records one quarantined generation.
+func (m *Metrics) observeQuarantine() {
+	if m == nil {
+		return
+	}
+	m.quarantines.Add(1)
+}
+
+// setStoreGeneration publishes the generation number backing the live model.
+func (m *Metrics) setStoreGeneration(g uint64) {
+	if m == nil {
+		return
+	}
+	m.storeGeneration.Store(g)
+}
+
+// setCanaryThresholds records the configured gate so /metrics scrapes can
+// correlate q-error histograms with the thresholds in force.
+func (m *Metrics) setCanaryThresholds(maxMedian, maxP95 float64) {
+	if m == nil {
+		return
+	}
+	m.canaryMaxMedian.Store(math.Float64bits(maxMedian))
+	m.canaryMaxP95.Store(math.Float64bits(maxP95))
+}
+
 func (m *Metrics) observeStatus(code int) {
 	switch {
 	case code >= 500:
@@ -156,6 +217,14 @@ func (m *Metrics) Snapshot() map[string]any {
 		"degraded_total":        m.degraded.Load(),
 		"estimate_errors_total": m.estErrors.Load(),
 		"model_swaps_total":     m.swaps.Load(),
+		"canary_pass_total":     m.canaryPass.Load(),
+		"canary_fail_total":     m.canaryFail.Load(),
+		"rollbacks_total":       m.rollbacks.Load(),
+		"quarantined_total":     m.quarantines.Load(),
+		"last_rollback_unix":    m.lastRollbackUnix.Load(),
+		"store_generation":      m.storeGeneration.Load(),
+		"canary_max_median":     math.Float64frombits(m.canaryMaxMedian.Load()),
+		"canary_max_p95":        math.Float64frombits(m.canaryMaxP95.Load()),
 		"responses_2xx":         m.ok2xx.Load(),
 		"responses_4xx":         m.err4xx.Load(),
 		"responses_5xx":         m.err5xx.Load(),

@@ -143,3 +143,41 @@ func TestLimiter(t *testing.T) {
 		t.Error("limiter with bound 0 must clamp to 1")
 	}
 }
+
+func TestLifecycleMetrics(t *testing.T) {
+	m := newMetrics()
+	m.observeCanary(true)
+	m.observeCanary(true)
+	m.observeCanary(false)
+	at := time.Unix(1_700_000_000, 0)
+	m.observeRollback(at)
+	m.observeQuarantine()
+	m.setStoreGeneration(7)
+	m.setCanaryThresholds(10, 100)
+
+	snap := m.Snapshot()
+	want := map[string]any{
+		"canary_pass_total":  int64(2),
+		"canary_fail_total":  int64(1),
+		"rollbacks_total":    int64(1),
+		"quarantined_total":  int64(1),
+		"last_rollback_unix": at.Unix(),
+		"store_generation":   uint64(7),
+		"canary_max_median":  10.0,
+		"canary_max_p95":     100.0,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("%s = %v (%T), want %v (%T)", k, snap[k], snap[k], v, v)
+		}
+	}
+
+	// The lifecycle observers must tolerate running before a server binds
+	// them (nil receiver).
+	var unbound *Metrics
+	unbound.observeCanary(true)
+	unbound.observeRollback(at)
+	unbound.observeQuarantine()
+	unbound.setStoreGeneration(1)
+	unbound.setCanaryThresholds(1, 1)
+}

@@ -40,6 +40,13 @@ type ModelInfo struct {
 	Models      int    `json:"models,omitempty"`
 	MemoryBytes int    `json:"memoryBytes,omitempty"`
 	Generation  uint64 `json:"generation"` // registry write that produced this entry
+
+	// StoreGeneration is the crash-safe store generation backing this entry
+	// (0 when the model was never persisted through the lifecycle).
+	StoreGeneration uint64 `json:"storeGeneration,omitempty"`
+	// Canary is the latest canary verdict for this entry: the admitting run
+	// at publish time, refreshed by every supervisor probe.
+	Canary *CanaryResult `json:"canary,omitempty"`
 }
 
 type regEntry struct {
@@ -130,6 +137,30 @@ func (r *Registry) List() ([]ModelInfo, string) {
 		out = append(out, s.entries[n].info)
 	}
 	return out, s.def
+}
+
+// UpdateInfo rewrites name's published info in place (same estimator, no
+// re-wrap, no registry generation bump): the supervisor uses it to refresh
+// canary status without disturbing traffic. mutate receives a copy; the
+// mutated copy is published atomically.
+func (r *Registry) UpdateInfo(name string, mutate func(*ModelInfo)) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.snap.Load()
+	e, ok := old.entries[name]
+	if !ok {
+		return fmt.Errorf("serve: unknown model %q (have %v)", name, old.names)
+	}
+	info := e.info
+	mutate(&info)
+	info.Name = name // the key is immutable
+	next := &regSnapshot{entries: make(map[string]*regEntry, len(old.entries)), names: old.names, def: old.def}
+	for k, v := range old.entries {
+		next.entries[k] = v
+	}
+	next.entries[name] = &regEntry{info: info, est: e.est}
+	r.snap.Store(next)
+	return nil
 }
 
 // SetDefault makes name the default model.

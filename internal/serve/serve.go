@@ -10,9 +10,14 @@
 //	                       ({"queries": [{"sql": ...}, ...]}); optional
 //	                       "model", "timeoutMs", and per-query "actual"
 //	                       (true cardinality feedback, recorded as q-error)
-//	GET  /v1/models      — list registered models and the default
-//	POST /v1/models/load — load a persisted snapshot from disk and swap it
-//	                       in without dropping in-flight requests
+//	GET  /v1/models      — list registered models (with store generation and
+//	                       canary status) and the default
+//	POST /v1/models/load — load a persisted snapshot from disk (confined to
+//	                       the configured model root) and swap it in without
+//	                       dropping in-flight requests; canary-gated when a
+//	                       lifecycle is configured (409 on rejection)
+//	POST /v1/models/rollback — quarantine the live generation and promote
+//	                       the previous good one from the crash-safe store
 //	GET  /healthz        — 200 while serving, 503 while draining
 //	GET  /metrics        — expvar-style JSON counters and histograms
 //
@@ -22,11 +27,17 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -63,6 +74,16 @@ type Config struct {
 	MaxQueriesPerRequest int
 	// MaxBodyBytes bounds request bodies. Default 1 MiB.
 	MaxBodyBytes int64
+	// ModelRoot, when set, confines POST /v1/models/load to snapshots under
+	// this directory: relative paths resolve against it, and any path that
+	// escapes it (via ".." or an absolute path elsewhere) is refused with
+	// 400. Empty means unrestricted (embedders doing their own vetting).
+	ModelRoot string
+	// Lifecycle, when set, gates /v1/models/load through the canary (409 on
+	// rejection), persists admitted models to the crash-safe store, and
+	// enables POST /v1/models/rollback. Nil preserves the direct,
+	// ungated load path.
+	Lifecycle *Lifecycle
 }
 
 func (c Config) withDefaults() Config {
@@ -114,10 +135,14 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 	}
 	s.batcher = newBatcher(cfg.Batcher, s.metrics.observeBatch)
+	if cfg.Lifecycle != nil {
+		cfg.Lifecycle.bindMetrics(s.metrics)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/models/load", s.handleLoad)
+	s.mux.HandleFunc("/v1/models/rollback", s.handleRollback)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/metrics", s.metrics)
 	return s, nil
@@ -411,13 +436,126 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, `"name" and "path" are required`)
 		return
 	}
-	info, err := s.reg.LoadFile(req.Name, req.Path, s.cfg.DB, req.Default)
+	path, err := s.resolveModelPath(req.Path)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if s.cfg.Lifecycle == nil {
+		info, err := s.reg.LoadFile(req.Name, path, s.cfg.DB, req.Default)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "load %q from %s: %v", req.Name, req.Path, err)
+			return
+		}
+		s.metrics.swaps.Add(1)
+		writeJSON(w, http.StatusOK, info)
+		return
+	}
+
+	// Lifecycle-gated load: the snapshot bytes are read once, probed by the
+	// canary, and — only on admission — persisted to the store and published.
+	snap, err := os.ReadFile(path)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "load %q from %s: %v", req.Name, req.Path, err)
 		return
 	}
+	est, kind, err := estimator.LoadEstimator(bytes.NewReader(snap), s.cfg.DB)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "load %q from %s: %v", req.Name, req.Path, err)
+		return
+	}
+	pub, err := s.cfg.Lifecycle.Publish(r.Context(), PublishSpec{
+		Name:        req.Name,
+		Est:         est,
+		Kind:        kind,
+		Source:      path,
+		Snapshot:    snap,
+		MakeDefault: req.Default,
+	})
+	if err != nil {
+		if errors.Is(err, ErrCanaryRejected) {
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":  err.Error(),
+				"canary": pub.Canary,
+			})
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "publish %q: %v", req.Name, err)
+		return
+	}
 	s.metrics.swaps.Add(1)
-	writeJSON(w, http.StatusOK, info)
+	writeJSON(w, http.StatusOK, pub)
+}
+
+// resolveModelPath confines a client-supplied snapshot path to the
+// configured model root. Relative paths resolve against the root; the
+// cleaned result must stay inside it.
+func (s *Server) resolveModelPath(p string) (string, error) {
+	if s.cfg.ModelRoot == "" {
+		return p, nil
+	}
+	root, err := filepath.Abs(s.cfg.ModelRoot)
+	if err != nil {
+		return "", fmt.Errorf("model root %q: %v", s.cfg.ModelRoot, err)
+	}
+	full := p
+	if !filepath.IsAbs(full) {
+		full = filepath.Join(root, full)
+	}
+	full = filepath.Clean(full)
+	rel, err := filepath.Rel(root, full)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("path %q escapes the model root (models may only be loaded from %s)", p, s.cfg.ModelRoot)
+	}
+	return full, nil
+}
+
+type rollbackRequest struct {
+	Reason string `json:"reason,omitempty"`
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.cfg.Lifecycle == nil {
+		writeError(w, http.StatusNotImplemented, "no model lifecycle configured (start with a snapshot store)")
+		return
+	}
+	var req rollbackRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+	reason := req.Reason
+	if reason == "" {
+		reason = "manual"
+	}
+	pub, err := s.cfg.Lifecycle.Rollback(r.Context(), reason)
+	if err != nil {
+		if errors.Is(err, ErrNoRollbackTarget) {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeError(w, http.StatusConflict, "rollback: %v", err)
+		return
+	}
+	s.metrics.swaps.Add(1)
+	writeJSON(w, http.StatusOK, pub)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

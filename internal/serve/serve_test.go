@@ -18,6 +18,7 @@ import (
 	"qfe/internal/ml/gb"
 	"qfe/internal/sqlparse"
 	"qfe/internal/table"
+	"qfe/internal/testutil"
 	"qfe/internal/workload"
 )
 
@@ -110,8 +111,11 @@ func (b *blockingEst) Estimate(*sqlparse.Query) (float64, error) {
 const stubSQL = "SELECT count(*) FROM t WHERE a >= 1"
 
 // newStubServer builds a server around a single registered stub estimator.
+// Every stub-server test also verifies that no server goroutine outlives it
+// (the leak check registers first, so it runs after srv.Close).
 func newStubServer(tb testing.TB, est estimator.Estimator, mutate func(*Config)) *Server {
 	tb.Helper()
+	testutil.VerifyNoLeaks(tb)
 	reg := NewRegistry()
 	if _, err := reg.Register("stub", est, ModelInfo{Kind: "stub", Source: "test"}); err != nil {
 		tb.Fatal(err)

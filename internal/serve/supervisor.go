@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"log"
+	"sync"
+	"time"
+)
+
+// Supervisor periodically re-runs the canary against the live model so a
+// model that degrades after publish — drifted data, a dependency gone bad,
+// memory corruption — is caught by the same gate that admitted it, then
+// quarantined and rolled back automatically. It is deliberately thin: all
+// judgement lives in Lifecycle.Probe; the supervisor only provides the
+// clock and the goroutine.
+type Supervisor struct {
+	lc       *Lifecycle
+	interval time.Duration
+	logf     func(format string, args ...any)
+
+	mu      sync.Mutex
+	kick    chan chan probeReply // nil once closed
+	done    chan struct{}
+	stopped sync.WaitGroup
+}
+
+type probeReply struct {
+	out ProbeOutcome
+	err error
+}
+
+// SupervisorConfig assembles a Supervisor.
+type SupervisorConfig struct {
+	// Lifecycle is the probed lifecycle. Required.
+	Lifecycle *Lifecycle
+	// Interval between probes. Default 30s.
+	Interval time.Duration
+	// Logf receives probe outcomes worth a human's attention (failures,
+	// rollbacks). Default log.Printf; set to a no-op to silence.
+	Logf func(format string, args ...any)
+}
+
+// StartSupervisor launches the probe loop. Stop it with Close.
+func StartSupervisor(cfg SupervisorConfig) *Supervisor {
+	sv := &Supervisor{
+		lc:       cfg.Lifecycle,
+		interval: cfg.Interval,
+		logf:     cfg.Logf,
+		kick:     make(chan chan probeReply),
+		done:     make(chan struct{}),
+	}
+	if sv.interval <= 0 {
+		sv.interval = 30 * time.Second
+	}
+	if sv.logf == nil {
+		sv.logf = log.Printf
+	}
+	sv.stopped.Add(1)
+	go sv.loop(sv.kick)
+	return sv
+}
+
+// loop receives the kick channel by value: Close nils the struct field (to
+// gate new ProbeNow calls) while the loop keeps draining the channel it was
+// born with.
+func (sv *Supervisor) loop(kick chan chan probeReply) {
+	defer sv.stopped.Done()
+	ticker := time.NewTicker(sv.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sv.done:
+			return
+		case <-ticker.C:
+			sv.probe(nil)
+		case reply := <-kick:
+			sv.probe(reply)
+		}
+	}
+}
+
+func (sv *Supervisor) probe(reply chan probeReply) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Unblock the canary run if Close happens mid-probe.
+	go func() {
+		select {
+		case <-sv.done:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	out, err := sv.lc.Probe(ctx)
+	switch {
+	case err != nil:
+		sv.logf("serve: supervisor probe: %v", err)
+	case out.Probed && !out.Result.Pass && out.RolledBack:
+		sv.logf("serve: supervisor rolled back to generation %d: %s",
+			out.RolledBackTo.Info.StoreGeneration, out.Result.Reason)
+	}
+	if reply != nil {
+		reply <- probeReply{out: out, err: err}
+	}
+}
+
+// ProbeNow runs one probe synchronously on the supervisor goroutine (so it
+// serializes with scheduled probes) and returns its outcome. It returns a
+// zero outcome after Close.
+func (sv *Supervisor) ProbeNow() (ProbeOutcome, error) {
+	reply := make(chan probeReply, 1)
+	sv.mu.Lock()
+	kick := sv.kick
+	sv.mu.Unlock()
+	if kick == nil {
+		return ProbeOutcome{}, nil
+	}
+	select {
+	case kick <- reply:
+		r := <-reply
+		return r.out, r.err
+	case <-sv.done:
+		return ProbeOutcome{}, nil
+	}
+}
+
+// Close stops the probe loop and waits for any in-flight probe to finish.
+// Safe to call twice.
+func (sv *Supervisor) Close() {
+	sv.mu.Lock()
+	if sv.kick == nil {
+		sv.mu.Unlock()
+		return
+	}
+	sv.kick = nil
+	sv.mu.Unlock()
+	close(sv.done)
+	sv.stopped.Wait()
+}

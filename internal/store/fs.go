@@ -1,0 +1,88 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// FS is the narrow filesystem surface the store writes through. Every
+// mutation the store performs — directory creation, durable file writes,
+// atomic renames, recursive removal, directory fsyncs — goes through this
+// interface, which is what lets the fault-injection layer
+// (internal/resilience/faultinject.FS) simulate crashes, torn writes,
+// ENOSPC, short reads, and bit-flips deterministically: the store's
+// behavior under any prefix of these operations is exactly its behavior
+// under a real crash at that point.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// WriteFile creates (or truncates) path, writes data, fsyncs, and
+	// closes. Durability of the byte content is this call's contract; the
+	// directory entry itself is made durable by SyncDir.
+	WriteFile(path string, data []byte) error
+	// ReadFile returns the full content of path.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir returns the names (not paths) of dir's entries.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically moves oldPath to newPath (same filesystem).
+	Rename(oldPath, newPath string) error
+	// RemoveAll deletes path recursively; missing paths are not an error.
+	RemoveAll(path string) error
+	// SyncDir fsyncs the directory itself, making renames and new entries
+	// durable.
+	SyncDir(dir string) error
+}
+
+// osFS is the real filesystem. It is the default when Options.FS is nil.
+type osFS struct{}
+
+// OSFS returns the production filesystem implementation.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) WriteFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+func (osFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+func (osFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,466 @@
+// Package store is the crash-safe snapshot store for trained estimators: a
+// generation-numbered directory layout in which a model snapshot becomes
+// visible only through an atomic rename, is checksummed inside a versioned
+// envelope, and is never modified after publication. The write protocol is
+//
+//	tmp-gen-N/snapshot.qfes   written + fsync'd   (CRC-framed envelope)
+//	tmp-gen-N/MANIFEST.json   written + fsync'd   (CRC-framed metadata)
+//	fsync(tmp-gen-N)
+//	rename(tmp-gen-N → gen-N)                     (the commit point)
+//	fsync(root)
+//
+// so a crash at any step leaves either the previous generations untouched
+// (rename not reached) or a fully durable new generation (rename reached).
+// Open recovers by scanning generations newest-first and returning a store
+// whose Latest is the newest generation that parses, frames, and checksums
+// correctly; torn temp directories are swept, corrupt generations are
+// skipped (and counted), and generation numbers are never reused so a
+// rolled-back or quarantined generation can never be confused with a fresh
+// publish. All filesystem access goes through the FS interface, which the
+// chaos suite replaces with a deterministic fault injector.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Envelope framing: a fixed header in front of the payload bytes.
+//
+//	magic   "QFES"            (4 bytes)
+//	version uint32 LE         (envelopeVersion)
+//	length  uint64 LE         (payload byte count)
+//	crc32c  uint32 LE         (Castagnoli CRC of the payload)
+//	payload length bytes
+const (
+	envelopeMagic   = "QFES"
+	envelopeVersion = 1
+	headerSize      = 4 + 4 + 8 + 4
+)
+
+const (
+	snapshotFile = "snapshot.qfes"
+	manifestFile = "MANIFEST.json"
+
+	genPrefix        = "gen-"
+	tmpPrefix        = "tmp-gen-"
+	quarantinePrefix = "quarantined-gen-"
+
+	// manifestFormat guards MANIFEST.json compatibility.
+	manifestFormat = 1
+
+	// DefaultRetain is how many valid generations a Put keeps when
+	// Options.Retain is zero.
+	DefaultRetain = 5
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Manifest is the per-generation metadata, written last inside the temp
+// directory so a generation directory always carries a complete manifest.
+type Manifest struct {
+	Format       int    `json:"format"`
+	Generation   uint64 `json:"generation"`
+	Name         string `json:"name"`           // model name the snapshot was published under
+	Kind         string `json:"kind,omitempty"` // estimator snapshot kind ("local", ...)
+	CreatedUnix  int64  `json:"createdUnix"`
+	PayloadBytes int    `json:"payloadBytes"`
+	CRC32        uint32 `json:"crc32"`
+	Note         string `json:"note,omitempty"` // e.g. the canary verdict that admitted it
+}
+
+// Generation is one recoverable snapshot.
+type Generation struct {
+	Number   uint64
+	Manifest Manifest
+}
+
+// RecoveryReport summarizes what Open found.
+type RecoveryReport struct {
+	Valid       int // generations that passed framing + checksum
+	Corrupt     int // generation directories rejected (torn, mismatched, bit-rotted)
+	Quarantined int // generations previously quarantined, skipped
+	TempSwept   int // leftover tmp- directories removed
+}
+
+// Options configures a store.
+type Options struct {
+	// Retain is how many newest valid generations survive the GC that runs
+	// after each successful Put. 0 means DefaultRetain; negative keeps all.
+	Retain int
+	// FS overrides the filesystem (fault injection); nil means the real one.
+	FS FS
+	// Now overrides the clock stamped into manifests; nil means time.Now.
+	Now func() time.Time
+}
+
+// Store is a handle on one store directory. It is safe for concurrent use;
+// writers serialize internally.
+type Store struct {
+	dir  string
+	fs   FS
+	opts Options
+
+	mu     sync.Mutex
+	gens   []Generation // valid generations, ascending by number
+	next   uint64       // next generation number (max ever seen + 1)
+	report RecoveryReport
+}
+
+// Open scans dir (creating it if missing), sweeps torn temp directories,
+// validates every generation newest-first, and returns a store whose
+// Latest is the newest valid generation. A directory full of corrupt
+// generations still opens — with no valid generations — so a daemon can
+// fall back to retraining instead of refusing to start.
+func Open(dir string, opts Options) (*Store, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS()
+	}
+	if opts.Retain == 0 {
+		opts.Retain = DefaultRetain
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	s := &Store{dir: dir, fs: fsys, opts: opts, next: 1}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	type candidate struct {
+		n    uint64
+		name string
+	}
+	var cands []candidate
+	for _, name := range names {
+		switch {
+		case strings.HasPrefix(name, tmpPrefix):
+			// A crash mid-Put left this behind; it never became visible.
+			if err := fsys.RemoveAll(filepath.Join(dir, name)); err != nil {
+				return nil, fmt.Errorf("store: sweep %s: %w", name, err)
+			}
+			s.report.TempSwept++
+			if n, ok := parseGenNumber(name, tmpPrefix); ok {
+				s.bumpNext(n)
+			}
+		case strings.HasPrefix(name, quarantinePrefix):
+			s.report.Quarantined++
+			if n, ok := parseGenNumber(name, quarantinePrefix); ok {
+				s.bumpNext(n)
+			}
+		case strings.HasPrefix(name, genPrefix):
+			n, ok := parseGenNumber(name, genPrefix)
+			if !ok {
+				continue
+			}
+			s.bumpNext(n)
+			cands = append(cands, candidate{n: n, name: name})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].n < cands[j].n })
+	for _, c := range cands {
+		man, err := s.validate(c.n, filepath.Join(dir, c.name))
+		if err != nil {
+			s.report.Corrupt++
+			continue
+		}
+		s.gens = append(s.gens, Generation{Number: c.n, Manifest: man})
+		s.report.Valid++
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Recovery returns what Open found.
+func (s *Store) Recovery() RecoveryReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.report
+}
+
+// Latest returns the newest valid generation, if any.
+func (s *Store) Latest() (Generation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.gens) == 0 {
+		return Generation{}, false
+	}
+	return s.gens[len(s.gens)-1], true
+}
+
+// Generations returns the valid generations in ascending order.
+func (s *Store) Generations() []Generation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Generation, len(s.gens))
+	copy(out, s.gens)
+	return out
+}
+
+// PrevValid returns the newest valid generation strictly older than number
+// — the rollback target when generation number goes bad.
+func (s *Store) PrevValid(number uint64) (Generation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.gens) - 1; i >= 0; i-- {
+		if s.gens[i].Number < number {
+			return s.gens[i], true
+		}
+	}
+	return Generation{}, false
+}
+
+// Put durably publishes payload as a new generation and returns it. On any
+// error nothing is published: the previous Latest is unchanged and the torn
+// temp directory (if one survived) is swept by the next Open. After a
+// successful publish, generations beyond the retention horizon are removed
+// best-effort.
+func (s *Store) Put(name, kind, note string, payload []byte) (Generation, error) {
+	if len(payload) == 0 {
+		return Generation{}, fmt.Errorf("store: refusing to publish an empty snapshot")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.next
+	man := Manifest{
+		Format:       manifestFormat,
+		Generation:   n,
+		Name:         name,
+		Kind:         kind,
+		CreatedUnix:  s.opts.Now().Unix(),
+		PayloadBytes: len(payload),
+		CRC32:        crc32.Checksum(payload, crcTable),
+		Note:         note,
+	}
+	manBytes, err := json.Marshal(man)
+	if err != nil {
+		return Generation{}, fmt.Errorf("store: encode manifest: %w", err)
+	}
+	manBytes = frame(manBytes) // the manifest gets the same CRC envelope
+	tmp := filepath.Join(s.dir, fmt.Sprintf("%s%08d", tmpPrefix, n))
+	final := filepath.Join(s.dir, genDirName(n))
+	// A leftover tmp dir with this number means a previous in-process Put
+	// failed before Open could sweep; clear it so the rename lands clean.
+	if err := s.fs.RemoveAll(tmp); err != nil {
+		return Generation{}, fmt.Errorf("store: clear stale temp: %w", err)
+	}
+	if err := s.fs.MkdirAll(tmp); err != nil {
+		return Generation{}, fmt.Errorf("store: temp dir: %w", err)
+	}
+	fail := func(step string, err error) (Generation, error) {
+		// Best-effort cleanup; a crashed filesystem leaves the tmp dir for
+		// the next Open to sweep.
+		s.fs.RemoveAll(tmp) //nolint:errcheck
+		return Generation{}, fmt.Errorf("store: %s generation %d: %w", step, n, err)
+	}
+	if err := s.fs.WriteFile(filepath.Join(tmp, snapshotFile), frame(payload)); err != nil {
+		return fail("write snapshot for", err)
+	}
+	if err := s.fs.WriteFile(filepath.Join(tmp, manifestFile), manBytes); err != nil {
+		return fail("write manifest for", err)
+	}
+	if err := s.fs.SyncDir(tmp); err != nil {
+		return fail("sync temp dir for", err)
+	}
+	if err := s.fs.Rename(tmp, final); err != nil {
+		return fail("publish", err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		// The rename happened; whether it is durable is now up to the disk.
+		// Report the error — callers must not ack an unsynced publish — but
+		// do not remove the renamed directory: it may well survive, and
+		// recovery validates it like any other.
+		return Generation{}, fmt.Errorf("store: sync root after publishing generation %d: %w", n, err)
+	}
+	s.next = n + 1
+	gen := Generation{Number: n, Manifest: man}
+	s.gens = append(s.gens, gen)
+	s.gc()
+	return gen, nil
+}
+
+// Read returns the payload and manifest of generation number, re-verifying
+// the envelope checksum so bit rot after Open is still caught at the last
+// moment before a model built from the bytes could serve traffic.
+func (s *Store) Read(number uint64) ([]byte, Manifest, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, g := range s.gens {
+		if g.Number != number {
+			continue
+		}
+		payload, err := s.readVerified(filepath.Join(s.dir, genDirName(number)), g.Manifest)
+		if err != nil {
+			return nil, Manifest{}, err
+		}
+		return payload, g.Manifest, nil
+	}
+	return nil, Manifest{}, fmt.Errorf("store: no valid generation %d", number)
+}
+
+// Quarantine renames generation number to a quarantined-gen directory so no
+// future Open or rollback will ever select it again, and drops it from the
+// valid set. Quarantining an unknown generation is an error.
+func (s *Store) Quarantine(number uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := -1
+	for i, g := range s.gens {
+		if g.Number == number {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("store: no valid generation %d to quarantine", number)
+	}
+	from := filepath.Join(s.dir, genDirName(number))
+	to := filepath.Join(s.dir, fmt.Sprintf("%s%08d", quarantinePrefix, number))
+	if err := s.fs.Rename(from, to); err != nil {
+		return fmt.Errorf("store: quarantine generation %d: %w", number, err)
+	}
+	s.fs.SyncDir(s.dir) //nolint:errcheck // rename is visible either way
+	s.gens = append(s.gens[:idx], s.gens[idx+1:]...)
+	return nil
+}
+
+// gc removes generations beyond the retention horizon (called with s.mu
+// held, best-effort: a failed removal is retried implicitly next time).
+func (s *Store) gc() {
+	if s.opts.Retain < 0 || len(s.gens) <= s.opts.Retain {
+		return
+	}
+	cut := len(s.gens) - s.opts.Retain
+	for _, g := range s.gens[:cut] {
+		if err := s.fs.RemoveAll(filepath.Join(s.dir, genDirName(g.Number))); err != nil {
+			return // keep the suffix intact; retry on a later Put
+		}
+	}
+	s.gens = append([]Generation(nil), s.gens[cut:]...)
+}
+
+// validate checks one generation directory end to end: manifest parse,
+// number match, envelope framing, and payload checksum (against both the
+// envelope and the manifest).
+func (s *Store) validate(n uint64, dir string) (Manifest, error) {
+	raw, err := s.fs.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("store: read manifest: %w", err)
+	}
+	manBytes, _, err := unframe(raw)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("store: manifest envelope: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(manBytes, &man); err != nil {
+		return Manifest{}, fmt.Errorf("store: parse manifest: %w", err)
+	}
+	if man.Format != manifestFormat {
+		return Manifest{}, fmt.Errorf("store: manifest format %d (want %d)", man.Format, manifestFormat)
+	}
+	if man.Generation != n {
+		return Manifest{}, fmt.Errorf("store: manifest generation %d in directory %d", man.Generation, n)
+	}
+	if _, err := s.readVerified(dir, man); err != nil {
+		return Manifest{}, err
+	}
+	return man, nil
+}
+
+// readVerified loads dir's snapshot envelope and returns the payload iff
+// framing and checksums hold.
+func (s *Store) readVerified(dir string, man Manifest) ([]byte, error) {
+	raw, err := s.fs.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	payload, crc, err := unframe(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) != man.PayloadBytes {
+		return nil, fmt.Errorf("store: snapshot is %d payload bytes, manifest says %d", len(payload), man.PayloadBytes)
+	}
+	if crc != man.CRC32 {
+		return nil, fmt.Errorf("store: snapshot CRC %08x, manifest says %08x", crc, man.CRC32)
+	}
+	return payload, nil
+}
+
+// frame wraps payload in the checksummed envelope.
+func frame(payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
+	copy(out[0:4], envelopeMagic)
+	binary.LittleEndian.PutUint32(out[4:8], envelopeVersion)
+	binary.LittleEndian.PutUint64(out[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[16:20], crc32.Checksum(payload, crcTable))
+	copy(out[headerSize:], payload)
+	return out
+}
+
+// unframe validates the envelope and returns the payload and its stored CRC.
+func unframe(raw []byte) ([]byte, uint32, error) {
+	if len(raw) < headerSize {
+		return nil, 0, fmt.Errorf("store: snapshot truncated at %d bytes (header is %d)", len(raw), headerSize)
+	}
+	if string(raw[0:4]) != envelopeMagic {
+		return nil, 0, fmt.Errorf("store: bad snapshot magic %q", raw[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != envelopeVersion {
+		return nil, 0, fmt.Errorf("store: unsupported envelope version %d (want %d)", v, envelopeVersion)
+	}
+	length := binary.LittleEndian.Uint64(raw[8:16])
+	if length != uint64(len(raw)-headerSize) {
+		return nil, 0, fmt.Errorf("store: envelope declares %d payload bytes, file carries %d", length, len(raw)-headerSize)
+	}
+	want := binary.LittleEndian.Uint32(raw[16:20])
+	payload := raw[headerSize:]
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, 0, fmt.Errorf("store: snapshot checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
+	return payload, want, nil
+}
+
+func (s *Store) bumpNext(n uint64) {
+	if n >= s.next {
+		s.next = n + 1
+	}
+}
+
+func genDirName(n uint64) string { return fmt.Sprintf("%s%08d", genPrefix, n) }
+
+// parseGenNumber extracts the generation number from a directory name with
+// the given prefix; zero-padded and unpadded forms both parse.
+func parseGenNumber(name, prefix string) (uint64, bool) {
+	digits := strings.TrimPrefix(name, prefix)
+	if digits == "" {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + uint64(c-'0')
+		if n > 1<<62 {
+			return 0, false
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return n, true
+}

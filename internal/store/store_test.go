@@ -1,0 +1,318 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustPut(t *testing.T, s *Store, payload string) Generation {
+	t.Helper()
+	g, err := s.Put("m", "local", "test", []byte(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPutReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Latest(); ok {
+		t.Fatal("empty store reports a latest generation")
+	}
+
+	g1 := mustPut(t, s, "payload-one")
+	g2 := mustPut(t, s, "payload-two")
+	if g1.Number != 1 || g2.Number != 2 {
+		t.Fatalf("generation numbers %d, %d, want 1, 2", g1.Number, g2.Number)
+	}
+	latest, ok := s.Latest()
+	if !ok || latest.Number != 2 {
+		t.Fatalf("Latest = %+v, %v, want generation 2", latest, ok)
+	}
+	payload, man, err := s.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "payload-two" {
+		t.Errorf("Read payload = %q", payload)
+	}
+	if man.Name != "m" || man.Kind != "local" || man.Note != "test" || man.PayloadBytes != len("payload-two") {
+		t.Errorf("manifest = %+v", man)
+	}
+
+	// Reopen: both generations recover, newest wins.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := s2.Recovery(); rep.Valid != 2 || rep.Corrupt != 0 {
+		t.Errorf("recovery report = %+v, want 2 valid", rep)
+	}
+	latest, ok = s2.Latest()
+	if !ok || latest.Number != 2 {
+		t.Fatalf("reopened Latest = %+v, %v", latest, ok)
+	}
+	if payload, _, err = s2.Read(1); err != nil || string(payload) != "payload-one" {
+		t.Errorf("Read(1) = %q, %v", payload, err)
+	}
+}
+
+func TestRejectsEmptyPayload(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("m", "local", "", nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+// TestAtRestCorruptionRejected flips bytes at every region of a published
+// generation — envelope header, payload, manifest — and requires Open to
+// reject that generation and fall back to the previous one.
+func TestAtRestCorruptionRejected(t *testing.T) {
+	for _, target := range []string{snapshotFile, manifestFile} {
+		t.Run(target, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustPut(t, s, "good-generation")
+			mustPut(t, s, "doomed-generation")
+
+			path := filepath.Join(dir, genDirName(2), target)
+			orig, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Step through the file so every region (magic, version, length,
+			// CRC, payload / JSON fields) gets corrupted in some subtest run.
+			step := len(orig)/7 + 1
+			for off := 0; off < len(orig); off += step {
+				mut := append([]byte(nil), orig...)
+				mut[off] ^= 0x40
+				if bytes.Equal(mut, orig) {
+					continue
+				}
+				if err := os.WriteFile(path, mut, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				s2, err := Open(dir, Options{})
+				if err != nil {
+					t.Fatalf("offset %d: Open failed entirely: %v", off, err)
+				}
+				latest, ok := s2.Latest()
+				if !ok || latest.Number != 1 {
+					t.Fatalf("offset %d: Latest = %+v, %v, want generation 1", off, latest, ok)
+				}
+				if payload, _, err := s2.Read(1); err != nil || string(payload) != "good-generation" {
+					t.Fatalf("offset %d: Read(1) = %q, %v", off, payload, err)
+				}
+				if rep := s2.Recovery(); rep.Corrupt != 1 {
+					t.Errorf("offset %d: recovery report = %+v, want 1 corrupt", off, rep)
+				}
+			}
+		})
+	}
+}
+
+// TestTruncatedSnapshotRejected covers torn files shorter than the header.
+func TestTruncatedSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "keeper")
+	mustPut(t, s, "will-be-torn")
+	path := filepath.Join(dir, genDirName(2), snapshotFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 3, headerSize - 1, headerSize, len(raw) - 1} {
+		if err := os.WriteFile(path, raw[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("truncate to %d: %v", n, err)
+		}
+		if latest, ok := s2.Latest(); !ok || latest.Number != 1 {
+			t.Fatalf("truncate to %d: Latest = %+v, %v, want generation 1", n, latest, ok)
+		}
+	}
+}
+
+func TestRetentionGC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		mustPut(t, s, fmt.Sprintf("payload-%d", i))
+	}
+	gens := s.Generations()
+	if len(gens) != 2 || gens[0].Number != 4 || gens[1].Number != 5 {
+		t.Fatalf("generations after GC = %+v, want [4 5]", gens)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range names {
+		dirs = append(dirs, e.Name())
+	}
+	if len(dirs) != 2 {
+		t.Errorf("on-disk dirs = %v, want exactly the 2 retained", dirs)
+	}
+
+	// Numbers keep climbing after GC and reopen: no reuse, ever.
+	s2, err := Open(dir, Options{Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustPut(t, s2, "payload-6")
+	if g.Number != 6 {
+		t.Errorf("generation after reopen = %d, want 6", g.Number)
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "older")
+	mustPut(t, s, "bad-model")
+
+	if err := s.Quarantine(2); err != nil {
+		t.Fatal(err)
+	}
+	if latest, ok := s.Latest(); !ok || latest.Number != 1 {
+		t.Fatalf("Latest after quarantine = %+v, %v, want generation 1", latest, ok)
+	}
+	if _, _, err := s.Read(2); err == nil {
+		t.Error("Read of quarantined generation succeeded")
+	}
+	if err := s.Quarantine(2); err == nil {
+		t.Error("double quarantine succeeded")
+	}
+
+	// Quarantine survives reopen, and the number is never reused.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := s2.Recovery(); rep.Quarantined != 1 || rep.Valid != 1 {
+		t.Errorf("recovery report = %+v, want 1 quarantined / 1 valid", rep)
+	}
+	if g := mustPut(t, s2, "fresh"); g.Number != 3 {
+		t.Errorf("post-quarantine generation = %d, want 3", g.Number)
+	}
+}
+
+func TestPrevValid(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "a")
+	mustPut(t, s, "b")
+	mustPut(t, s, "c")
+	if g, ok := s.PrevValid(3); !ok || g.Number != 2 {
+		t.Errorf("PrevValid(3) = %+v, %v, want generation 2", g, ok)
+	}
+	if g, ok := s.PrevValid(2); !ok || g.Number != 1 {
+		t.Errorf("PrevValid(2) = %+v, %v, want generation 1", g, ok)
+	}
+	if _, ok := s.PrevValid(1); ok {
+		t.Error("PrevValid(1) found a generation below the first")
+	}
+}
+
+// TestSweepsTempDirs: a crash mid-Put leaves tmp-gen-N; Open removes it and
+// never treats it as publishable.
+func TestSweepsTempDirs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "real")
+	torn := filepath.Join(dir, tmpPrefix+"00000002")
+	if err := os.MkdirAll(torn, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(torn, snapshotFile), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := s2.Recovery(); rep.TempSwept != 1 || rep.Valid != 1 {
+		t.Errorf("recovery report = %+v, want 1 swept / 1 valid", rep)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Errorf("temp dir still present after Open (stat err %v)", err)
+	}
+	// The torn number is burned, never reused: the next publish skips it.
+	if g := mustPut(t, s2, "next"); g.Number != 3 {
+		t.Errorf("generation after sweep = %d, want 3 (temp number burned)", g.Number)
+	}
+}
+
+func TestIgnoresForeignDirEntries(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"gen-", "gen-abc", "gen-00", "notes.txt", "gen-7x"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := s.Recovery(); rep.Valid != 0 {
+		t.Errorf("recovery report = %+v, want nothing valid", rep)
+	}
+	if g := mustPut(t, s, "first"); g.Number != 1 {
+		t.Errorf("first generation = %d, want 1", g.Number)
+	}
+}
+
+func TestUnframeErrors(t *testing.T) {
+	good := frame([]byte("hello"))
+	cases := map[string][]byte{
+		"short":       good[:headerSize-2],
+		"bad magic":   append([]byte("NOPE"), good[4:]...),
+		"bad version": func() []byte { b := append([]byte(nil), good...); b[4] = 99; return b }(),
+		"bad length":  func() []byte { b := append([]byte(nil), good...); b[8]++; return b }(),
+		"bad crc":     func() []byte { b := append([]byte(nil), good...); b[16]++; return b }(),
+		"bad payload": func() []byte { b := append([]byte(nil), good...); b[headerSize]++; return b }(),
+	}
+	for name, raw := range cases {
+		if _, _, err := unframe(raw); err == nil {
+			t.Errorf("%s: unframe accepted corrupt envelope", name)
+		} else if !strings.Contains(err.Error(), "store:") {
+			t.Errorf("%s: error %v lacks package prefix", name, err)
+		}
+	}
+	if payload, _, err := unframe(good); err != nil || string(payload) != "hello" {
+		t.Errorf("good envelope: %q, %v", payload, err)
+	}
+}

@@ -1,0 +1,67 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder satisfies VerifyNoLeaks's constraint while capturing failures,
+// so the checker can be tested for both verdicts without failing this test.
+type recorder struct {
+	name     string
+	cleanups []func()
+	failures []string
+}
+
+func (r *recorder) Name() string     { return r.name }
+func (r *recorder) Helper()          {}
+func (r *recorder) Cleanup(f func()) { r.cleanups = append(r.cleanups, f) }
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, format)
+}
+func (r *recorder) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+func TestVerifyNoLeaksClean(t *testing.T) {
+	rec := &recorder{name: "clean"}
+	VerifyNoLeaks(rec)
+	done := make(chan struct{})
+	go func() { close(done) }() // transient goroutine: finishes before the check
+	<-done
+	rec.runCleanups()
+	if len(rec.failures) != 0 {
+		t.Fatalf("clean run flagged as leaking: %v", rec.failures)
+	}
+}
+
+func TestVerifyNoLeaksDetectsLeak(t *testing.T) {
+	rec := &recorder{name: "leaky"}
+	VerifyNoLeaks(rec)
+	stop := make(chan struct{})
+	defer close(stop)
+	started := make(chan struct{})
+	go leakyWorker(started, stop)
+	<-started
+	start := time.Now()
+	rec.runCleanups()
+	if len(rec.failures) != 1 {
+		t.Fatalf("leak not detected (failures: %v)", rec.failures)
+	}
+	if !strings.Contains(rec.failures[0], "leaked") {
+		t.Fatalf("failure message %q does not mention a leak", rec.failures[0])
+	}
+	// The retry window must have been exhausted before declaring the leak.
+	if time.Since(start) < 2*time.Second {
+		t.Errorf("leak declared after %v, want the full retry window", time.Since(start))
+	}
+}
+
+// leakyWorker is a module-code goroutine that outlives the test body.
+func leakyWorker(started chan<- struct{}, stop <-chan struct{}) {
+	close(started)
+	<-stop
+}
