@@ -33,9 +33,11 @@ const (
 	// WriteFile, first persists a seed-chosen strict prefix of the data: a
 	// power loss mid-write.
 	FSTornWrite
-	// FSENOSPC makes the Op-th WriteFile persist a prefix and fail with
-	// ErrNoSpace; the filesystem keeps working afterwards. A full disk,
-	// not a crash.
+	// FSENOSPC makes the Op-th mutating operation fail with ErrNoSpace — a
+	// WriteFile first persists a seed-chosen prefix of its data — and the
+	// filesystem keeps working afterwards. A full disk, not a crash; unlike
+	// the crash kinds it also hits metadata operations (MkdirAll, Rename,
+	// RemoveAll, SyncDir), modeling fsync or rename failing on a full disk.
 	FSENOSPC
 	// FSShortRead makes the Op-th ReadFile return a strict prefix of the
 	// file with no error.
@@ -166,7 +168,7 @@ func (f *FS) mutate(dataLen int) (tearAt int, err error) {
 			return -1, ErrCrashed
 		}
 	case FSENOSPC:
-		if fire && dataLen >= 0 {
+		if fire {
 			f.injected++
 			if dataLen > 0 {
 				return f.rng.Intn(dataLen), ErrNoSpace
@@ -179,7 +181,7 @@ func (f *FS) mutate(dataLen int) (tearAt int, err error) {
 
 // MkdirAll implements store.FS.
 func (f *FS) MkdirAll(dir string) error {
-	if _, err := f.mutate(-1); err != nil && !errors.Is(err, ErrNoSpace) {
+	if _, err := f.mutate(-1); err != nil {
 		return err
 	}
 	return f.base.MkdirAll(dir)
@@ -200,7 +202,7 @@ func (f *FS) WriteFile(path string, data []byte) error {
 
 // Rename implements store.FS.
 func (f *FS) Rename(oldPath, newPath string) error {
-	if _, err := f.mutate(-1); err != nil && !errors.Is(err, ErrNoSpace) {
+	if _, err := f.mutate(-1); err != nil {
 		return err
 	}
 	return f.base.Rename(oldPath, newPath)
@@ -208,7 +210,7 @@ func (f *FS) Rename(oldPath, newPath string) error {
 
 // RemoveAll implements store.FS.
 func (f *FS) RemoveAll(path string) error {
-	if _, err := f.mutate(-1); err != nil && !errors.Is(err, ErrNoSpace) {
+	if _, err := f.mutate(-1); err != nil {
 		return err
 	}
 	return f.base.RemoveAll(path)
@@ -216,7 +218,7 @@ func (f *FS) RemoveAll(path string) error {
 
 // SyncDir implements store.FS.
 func (f *FS) SyncDir(dir string) error {
-	if _, err := f.mutate(-1); err != nil && !errors.Is(err, ErrNoSpace) {
+	if _, err := f.mutate(-1); err != nil {
 		return err
 	}
 	return f.base.SyncDir(dir)

@@ -137,6 +137,11 @@ func (lc *Lifecycle) Publish(ctx context.Context, spec PublishSpec) (Publication
 		incumbent = &b
 	}
 	res := RunCanary(ctx, spec.Est, lc.canary, incumbent)
+	if !res.Pass && ctx.Err() != nil {
+		// The run was cut short by cancellation, not failed by the model:
+		// report the interruption, not a canary verdict.
+		return Publication{Canary: res}, fmt.Errorf("serve: canary interrupted: %w", ctx.Err())
+	}
 	lc.metrics.observeCanary(res.Pass)
 	if !res.Pass {
 		return Publication{Canary: res}, fmt.Errorf("%w: %s", ErrCanaryRejected, res.Reason)
@@ -196,9 +201,14 @@ func (lc *Lifecycle) rollbackLocked(ctx context.Context, reason string) (Publica
 	if lc.live.name == "" {
 		return Publication{}, fmt.Errorf("serve: no lifecycle-managed model to roll back")
 	}
+	if err := ctx.Err(); err != nil {
+		// Canceled before any destructive step (e.g. the client behind
+		// POST /v1/models/rollback disconnected): leave everything in place.
+		return Publication{}, fmt.Errorf("serve: rollback aborted: %w", err)
+	}
 	if lc.live.gen != 0 {
-		if err := lc.st.Quarantine(lc.live.gen); err == nil {
-			lc.metrics.observeQuarantine()
+		if err := lc.quarantineLocked(lc.live.gen); err != nil {
+			return Publication{}, err
 		}
 	}
 	pub, err := lc.promoteFromStoreLocked(ctx, lc.live.name, true, nil)
@@ -226,18 +236,31 @@ func (lc *Lifecycle) promoteFromStoreLocked(ctx context.Context, name string, ma
 		payload, man, err := lc.st.Read(g.Number)
 		if err != nil {
 			// Bit rot between Open and now; quarantine and keep walking.
-			lc.quarantineLocked(g.Number)
+			if qerr := lc.quarantineLocked(g.Number); qerr != nil {
+				return Publication{}, qerr
+			}
 			continue
 		}
 		est, kind, err := estimator.LoadEstimator(bytes.NewReader(payload), lc.db)
 		if err != nil {
-			lc.quarantineLocked(g.Number)
+			if qerr := lc.quarantineLocked(g.Number); qerr != nil {
+				return Publication{}, qerr
+			}
 			continue
 		}
 		res := RunCanary(ctx, est, lc.canary, incumbent)
+		if !res.Pass && ctx.Err() != nil {
+			// The canary was cut short by cancellation, not failed by the
+			// model — quarantining here would burn every valid generation on
+			// a transient client disconnect or shutdown. Abort the walk and
+			// leave the store untouched.
+			return Publication{}, fmt.Errorf("serve: canary for generation %d interrupted: %w", g.Number, ctx.Err())
+		}
 		lc.metrics.observeCanary(res.Pass)
 		if !res.Pass {
-			lc.quarantineLocked(g.Number)
+			if qerr := lc.quarantineLocked(g.Number); qerr != nil {
+				return Publication{}, qerr
+			}
 			continue
 		}
 		source := fmt.Sprintf("store:gen-%d", g.Number)
@@ -248,9 +271,20 @@ func (lc *Lifecycle) promoteFromStoreLocked(ctx context.Context, name string, ma
 	}
 }
 
-func (lc *Lifecycle) quarantineLocked(gen uint64) {
-	if err := lc.st.Quarantine(gen); err == nil {
+// quarantineLocked retires gen from the store's valid set. An unknown
+// generation counts as already quarantined; any other failure (the rename
+// hit an I/O error, say) is returned so callers abort instead of
+// re-selecting the same generation forever — Latest would keep returning it.
+func (lc *Lifecycle) quarantineLocked(gen uint64) error {
+	err := lc.st.Quarantine(gen)
+	switch {
+	case err == nil:
 		lc.metrics.observeQuarantine()
+		return nil
+	case errors.Is(err, store.ErrUnknownGeneration):
+		return nil
+	default:
+		return fmt.Errorf("serve: quarantine generation %d: %w", gen, err)
 	}
 }
 
@@ -303,6 +337,12 @@ func (lc *Lifecycle) Probe(ctx context.Context) (ProbeOutcome, error) {
 	}
 	baseline := lc.live.baseline
 	res := RunCanary(ctx, lc.live.bare, lc.canary, &baseline)
+	if !res.Pass && ctx.Err() != nil {
+		// An interrupted probe (supervisor shutting down, caller gone) says
+		// nothing about the model: report the cancellation without recording
+		// a verdict or rolling anything back.
+		return ProbeOutcome{Probed: true, Result: res}, fmt.Errorf("serve: probe interrupted: %w", ctx.Err())
+	}
 	lc.metrics.observeCanary(res.Pass)
 	out := ProbeOutcome{Probed: true, Result: res}
 	canary := res

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -247,6 +248,116 @@ func TestLifecycleRollback(t *testing.T) {
 	// generation first, so the error names the real condition.
 	if _, err := lc.Rollback(context.Background(), "again"); !errors.Is(err, ErrNoRollbackTarget) {
 		t.Fatalf("rollback with no target: %v, want ErrNoRollbackTarget", err)
+	}
+}
+
+// TestCanceledContextDoesNotQuarantine: a canceled context aborts the
+// canary for reasons that say nothing about the model, so Recover and
+// Rollback must surface the cancellation instead of quarantining every
+// valid generation on disk (a client disconnect or shutdown race would
+// otherwise irreversibly burn all rollback state).
+func TestCanceledContextDoesNotQuarantine(t *testing.T) {
+	db, canaryWS, good, _ := lifecycleEnv(t)
+	dir := t.TempDir()
+	lc, _ := newLifecycle(t, dir, looseCanary(canaryWS), db)
+	for i := 0; i < 2; i++ {
+		if _, err := lc.Publish(context.Background(), PublishSpec{
+			Name: "live", Est: good, Kind: "local",
+			Snapshot: snapshotBytes(t, good), MakeDefault: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	// Rollback with a canceled context: live generation stays in place.
+	if _, err := lc.Rollback(canceled, "canceled"); err == nil || errors.Is(err, ErrNoRollbackTarget) {
+		t.Fatalf("canceled rollback: err = %v, want a cancellation error", err)
+	}
+	if got := len(lc.Store().Generations()); got != 2 {
+		t.Fatalf("%d generations survive a canceled rollback, want 2", got)
+	}
+
+	// Probe with a canceled context: no verdict recorded, no rollback.
+	if out, err := lc.Probe(canceled); err == nil || out.RolledBack {
+		t.Fatalf("canceled probe = %+v, err %v, want error without rollback", out, err)
+	}
+	if got := len(lc.Store().Generations()); got != 2 {
+		t.Fatalf("%d generations survive a canceled probe, want 2", got)
+	}
+
+	// Recover on a fresh handle with a canceled context: the walk aborts
+	// before judging anything.
+	lc2, _ := newLifecycle(t, dir, looseCanary(canaryWS), db)
+	if _, ok, err := lc2.Recover(canceled, "live", true); err == nil || ok {
+		t.Fatalf("canceled recover: ok=%v err=%v, want error", ok, err)
+	}
+	if got := len(lc2.Store().Generations()); got != 2 {
+		t.Fatalf("%d generations survive a canceled recover, want 2", got)
+	}
+}
+
+// quarantineFailFS delegates to the real filesystem but fails renames into
+// quarantine — the step the promote walk depends on for progress.
+type quarantineFailFS struct {
+	store.FS
+}
+
+func (f quarantineFailFS) Rename(oldPath, newPath string) error {
+	if strings.HasPrefix(filepath.Base(newPath), "quarantined-") {
+		return errors.New("injected: quarantine rename failed")
+	}
+	return f.FS.Rename(oldPath, newPath)
+}
+
+// TestQuarantineFailureAbortsWalk: when the store cannot quarantine a
+// canary-failing generation, Recover must return the error instead of
+// re-selecting the same generation forever under the lifecycle mutex
+// (which would wedge publishes, probes, and the rollback endpoint).
+func TestQuarantineFailureAbortsWalk(t *testing.T) {
+	db, canaryWS, _, bad := lifecycleEnv(t)
+	dir := t.TempDir()
+
+	// Admit the bad model through an empty canary (always passes) so the
+	// store holds a generation the real canary will reject at recover time.
+	lc, _ := newLifecycle(t, dir, CanaryConfig{}, db)
+	if _, err := lc.Publish(context.Background(), PublishSpec{
+		Name: "live", Est: bad, Kind: "local",
+		Snapshot: snapshotBytes(t, bad), MakeDefault: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := store.Open(dir, store.Options{FS: quarantineFailFS{store.OSFS()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc2, err := NewLifecycle(LifecycleConfig{Registry: NewRegistry(), Store: st, DB: db, Canary: looseCanary(canaryWS)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		ok  bool
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		_, ok, err := lc2.Recover(context.Background(), "live", true)
+		done <- result{ok, err}
+	}()
+	select {
+	case r := <-done:
+		if r.ok || r.err == nil || errors.Is(r.err, ErrNoRollbackTarget) {
+			t.Fatalf("recover with failing quarantine: ok=%v err=%v, want the quarantine error", r.ok, r.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("recover spun forever on an unquarantinable generation")
+	}
+	// The generation was not silently dropped: it is still on disk, so an
+	// operator (or a later walk, once the I/O error clears) can deal with it.
+	if got := len(st.Generations()); got != 1 {
+		t.Fatalf("%d generations after aborted walk, want 1", got)
 	}
 }
 
@@ -567,5 +678,41 @@ func TestModelRootConfinement(t *testing.T) {
 	open := newStubServer(t, constEst(1), nil)
 	if _, err := open.resolveModelPath("/anywhere/at/all"); err != nil {
 		t.Errorf("no root: %v", err)
+	}
+}
+
+// TestModelRootSymlinkEscape: a symlink planted inside the model root must
+// not defeat confinement — containment is checked on the symlink-resolved
+// path, not just the lexical one.
+func TestModelRootSymlinkEscape(t *testing.T) {
+	outside := t.TempDir()
+	secret := filepath.Join(outside, "secret.json")
+	if err := os.WriteFile(secret, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	if err := os.Symlink(secret, filepath.Join(root, "link.json")); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	if err := os.Symlink(outside, filepath.Join(root, "dir")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "ok.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := newStubServer(t, constEst(1), func(c *Config) { c.ModelRoot = root })
+	for _, p := range []string{"link.json", "dir/secret.json"} {
+		if got, err := srv.resolveModelPath(p); err == nil {
+			t.Errorf("resolveModelPath(%q) = %q, want refusal (symlink escapes the root)", p, got)
+		}
+	}
+	// Real files inside the root still resolve, as do not-yet-existing ones
+	// (the subsequent read fails on its own).
+	if _, err := srv.resolveModelPath("ok.json"); err != nil {
+		t.Errorf("resolveModelPath(ok.json): %v", err)
+	}
+	if _, err := srv.resolveModelPath("missing.json"); err != nil {
+		t.Errorf("resolveModelPath(missing.json): %v", err)
 	}
 }

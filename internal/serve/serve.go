@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -490,25 +491,55 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 
 // resolveModelPath confines a client-supplied snapshot path to the
 // configured model root. Relative paths resolve against the root; the
-// cleaned result must stay inside it.
+// cleaned result must stay inside it both lexically and after resolving
+// symlinks, so a link planted inside the root cannot point a load outside
+// it.
 func (s *Server) resolveModelPath(p string) (string, error) {
 	if s.cfg.ModelRoot == "" {
 		return p, nil
 	}
-	root, err := filepath.Abs(s.cfg.ModelRoot)
+	rootAbs, err := filepath.Abs(s.cfg.ModelRoot)
 	if err != nil {
 		return "", fmt.Errorf("model root %q: %v", s.cfg.ModelRoot, err)
 	}
-	full := p
-	if !filepath.IsAbs(full) {
-		full = filepath.Join(root, full)
+	// The root itself may sit behind symlinks (e.g. /tmp on some systems);
+	// resolve it so the post-EvalSymlinks containment check compares like
+	// with like. A root that does not exist yet keeps its lexical form.
+	rootRes := rootAbs
+	if r, err := filepath.EvalSymlinks(rootAbs); err == nil {
+		rootRes = r
 	}
-	full = filepath.Clean(full)
-	rel, err := filepath.Rel(root, full)
-	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+	within := func(root, path string) bool {
+		rel, err := filepath.Rel(root, path)
+		return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator))
+	}
+	escape := func() (string, error) {
 		return "", fmt.Errorf("path %q escapes the model root (models may only be loaded from %s)", p, s.cfg.ModelRoot)
 	}
-	return full, nil
+	full := p
+	if !filepath.IsAbs(full) {
+		full = filepath.Join(rootAbs, full)
+	}
+	full = filepath.Clean(full)
+	// Lexical check first: ".." and foreign absolute paths are refused
+	// before any filesystem access.
+	if !within(rootAbs, full) && !within(rootRes, full) {
+		return escape()
+	}
+	// Then re-check with symlinks resolved. A path that does not exist
+	// cannot leak anything — the read that follows fails — so it keeps the
+	// lexically-vetted form.
+	resolved, err := filepath.EvalSymlinks(full)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return full, nil
+		}
+		return "", fmt.Errorf("path %q: %v", p, err)
+	}
+	if !within(rootRes, resolved) {
+		return escape()
+	}
+	return resolved, nil
 }
 
 type rollbackRequest struct {

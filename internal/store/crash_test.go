@@ -128,10 +128,12 @@ func TestCrashSweep(t *testing.T) {
 	}
 }
 
-// TestENOSPCSweep fires an out-of-space failure (with a partial write) at
-// every operation ordinal. Unlike a crash the process lives on: the failed
-// publish must leave the previous generation serving, and a retry on the
-// same open store must succeed.
+// TestENOSPCSweep fires an out-of-space failure (with a partial write on
+// writes) at every mutating operation ordinal, including metadata steps like
+// the post-rename root fsync. Unlike a crash the process lives on: the
+// failed publish must leave the previous generation serving, and a retry on
+// the same open store must succeed — even when the failed attempt already
+// renamed its generation into place and burned the number.
 func TestENOSPCSweep(t *testing.T) {
 	ops := countPublishOps(t)
 	seeds := seedSweepWidth(t)
@@ -142,7 +144,14 @@ func TestENOSPCSweep(t *testing.T) {
 			ffs := faultinject.NewFS(nil, faultinject.FSConfig{Seed: seed, Kind: faultinject.FSENOSPC, Op: op})
 			s, err := store.Open(dir, store.Options{FS: ffs})
 			if err != nil {
-				t.Fatalf("op %d: Open must survive ENOSPC placement: %v", op, err)
+				// The fault hit Open's own MkdirAll: the store refuses to
+				// open, and the directory must be intact for the next try.
+				if !errors.Is(err, faultinject.ErrNoSpace) {
+					t.Fatalf("op %d: Open = %v, want ErrNoSpace", op, err)
+				}
+				fired++
+				verifyRecovered(t, dir, false, "enospc-open")
+				continue
 			}
 			_, perr := s.Put("m", "local", "first try", []byte(payloadNew))
 			if perr != nil {
@@ -159,7 +168,10 @@ func TestENOSPCSweep(t *testing.T) {
 					t.Fatalf("op %d: incumbent damaged after ENOSPC: %q, %v", op, payload, err)
 				}
 			}
-			// Space freed (the fault fires once): the retry publishes.
+			// Space freed (the fault fires once): the retry publishes. When
+			// the failed attempt died after its rename (root-sync ENOSPC),
+			// this also proves the retry takes a fresh generation number
+			// instead of colliding with the directory left behind.
 			g, err := s.Put("m", "local", "retry", []byte(payloadNew))
 			if err != nil {
 				t.Fatalf("op %d: retry after ENOSPC: %v", op, err)
@@ -171,7 +183,7 @@ func TestENOSPCSweep(t *testing.T) {
 		}
 	}
 	if fired == 0 {
-		t.Error("sweep never hit a write with ENOSPC")
+		t.Error("sweep never fired ENOSPC")
 	}
 }
 

@@ -23,6 +23,7 @@ package store
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"path/filepath"
@@ -62,6 +63,10 @@ const (
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrUnknownGeneration reports an operation on a generation number that is
+// not in the valid set — never published, already quarantined, or GC'd.
+var ErrUnknownGeneration = errors.New("store: unknown generation")
 
 // Manifest is the per-generation metadata, written last inside the temp
 // directory so a generation directory always carries a complete manifest.
@@ -278,14 +283,18 @@ func (s *Store) Put(name, kind, note string, payload []byte) (Generation, error)
 	if err := s.fs.Rename(tmp, final); err != nil {
 		return fail("publish", err)
 	}
+	// The rename reached the filesystem: gen-N exists on disk from here on,
+	// so its number is burned whatever happens next — a retry must never
+	// reuse it (the Rename onto the existing directory would fail forever).
+	s.next = n + 1
 	if err := s.fs.SyncDir(s.dir); err != nil {
 		// The rename happened; whether it is durable is now up to the disk.
 		// Report the error — callers must not ack an unsynced publish — but
 		// do not remove the renamed directory: it may well survive, and
-		// recovery validates it like any other.
+		// recovery validates it like any other. It stays out of the in-memory
+		// valid set; a retry publishes under a fresh number.
 		return Generation{}, fmt.Errorf("store: sync root after publishing generation %d: %w", n, err)
 	}
-	s.next = n + 1
 	gen := Generation{Number: n, Manifest: man}
 	s.gens = append(s.gens, gen)
 	s.gc()
@@ -308,12 +317,13 @@ func (s *Store) Read(number uint64) ([]byte, Manifest, error) {
 		}
 		return payload, g.Manifest, nil
 	}
-	return nil, Manifest{}, fmt.Errorf("store: no valid generation %d", number)
+	return nil, Manifest{}, fmt.Errorf("%w: no valid generation %d to read", ErrUnknownGeneration, number)
 }
 
 // Quarantine renames generation number to a quarantined-gen directory so no
 // future Open or rollback will ever select it again, and drops it from the
-// valid set. Quarantining an unknown generation is an error.
+// valid set. Quarantining an unknown generation returns an error wrapping
+// ErrUnknownGeneration.
 func (s *Store) Quarantine(number uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -325,7 +335,7 @@ func (s *Store) Quarantine(number uint64) error {
 		}
 	}
 	if idx < 0 {
-		return fmt.Errorf("store: no valid generation %d to quarantine", number)
+		return fmt.Errorf("%w: no valid generation %d to quarantine", ErrUnknownGeneration, number)
 	}
 	from := filepath.Join(s.dir, genDirName(number))
 	to := filepath.Join(s.dir, fmt.Sprintf("%s%08d", quarantinePrefix, number))

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -207,8 +208,8 @@ func TestQuarantine(t *testing.T) {
 	if _, _, err := s.Read(2); err == nil {
 		t.Error("Read of quarantined generation succeeded")
 	}
-	if err := s.Quarantine(2); err == nil {
-		t.Error("double quarantine succeeded")
+	if err := s.Quarantine(2); !errors.Is(err, ErrUnknownGeneration) {
+		t.Errorf("double quarantine = %v, want ErrUnknownGeneration", err)
 	}
 
 	// Quarantine survives reopen, and the number is never reused.
@@ -221,6 +222,71 @@ func TestQuarantine(t *testing.T) {
 	}
 	if g := mustPut(t, s2, "fresh"); g.Number != 3 {
 		t.Errorf("post-quarantine generation = %d, want 3", g.Number)
+	}
+}
+
+// failRootSyncFS delegates to the real filesystem but fails SyncDir on one
+// directory while armed — the "fsync the root after rename" step of Put.
+type failRootSyncFS struct {
+	FS
+	root string
+	arm  bool
+}
+
+func (f *failRootSyncFS) SyncDir(dir string) error {
+	if f.arm && dir == f.root {
+		f.arm = false
+		return errors.New("injected: root sync failed")
+	}
+	return f.FS.SyncDir(dir)
+}
+
+// TestRootSyncFailureBurnsNumber: when the rename lands but the root fsync
+// fails, Put reports the error (the publish is not acked and stays out of
+// the valid set) yet the generation number is burned, so a retry publishes
+// under a fresh number instead of colliding forever with the directory the
+// failed attempt left behind.
+func TestRootSyncFailureBurnsNumber(t *testing.T) {
+	dir := t.TempDir()
+	fsys := &failRootSyncFS{FS: OSFS(), root: dir}
+	s, err := Open(dir, Options{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := mustPut(t, s, "first")
+
+	fsys.arm = true
+	if _, err := s.Put("m", "local", "doomed", []byte("second")); err == nil {
+		t.Fatal("Put with failing root sync succeeded")
+	}
+	// Not acked: the incumbent still leads the valid set.
+	if latest, ok := s.Latest(); !ok || latest.Number != g1.Number {
+		t.Fatalf("Latest after sync failure = %+v, %v, want generation %d", latest, ok, g1.Number)
+	}
+
+	// The retry must take a fresh number — gen-2 exists on disk already.
+	g3, err := s.Put("m", "local", "retry", []byte("third"))
+	if err != nil {
+		t.Fatalf("retry after sync failure: %v", err)
+	}
+	if g3.Number != 3 {
+		t.Fatalf("retry generation = %d, want 3 (number 2 burned by the failed attempt)", g3.Number)
+	}
+	if payload, _, err := s.Read(g3.Number); err != nil || string(payload) != "third" {
+		t.Fatalf("Read(%d) = %q, %v", g3.Number, payload, err)
+	}
+
+	// Reopen: the unacked-but-renamed generation 2 is on disk and valid, and
+	// the retry stays newest.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := s2.Recovery(); rep.Valid != 3 {
+		t.Errorf("recovery report = %+v, want 3 valid", rep)
+	}
+	if latest, ok := s2.Latest(); !ok || latest.Number != 3 {
+		t.Fatalf("reopened Latest = %+v, %v, want generation 3", latest, ok)
 	}
 }
 
