@@ -12,6 +12,9 @@
 //	         [-max-inflight 64] [-drain-timeout 10s] [-smoke]
 //	         [-store dir] [-canary 200] [-canary-median 10] [-canary-p95 100]
 //	         [-probe-interval 30s] [-model-root dir]
+//	         [-retrain] [-retrain-cooldown 1m] [-drift-delta 0.05]
+//	         [-drift-lambda 25] [-drift-min-samples 50] [-drift-window 200]
+//	         [-drift-ood-fraction 0.25]
 //
 // Without -load, the daemon builds the synthetic forest database and trains
 // a model at boot (same flags as cardest), registered as "boot". With
@@ -35,6 +38,20 @@
 // POST /v1/models/load is confined to -model-root (default: the -store
 // directory, else the working directory): paths that escape it via ".." or
 // an absolute prefix elsewhere are refused with 400.
+//
+// -retrain (which requires -store) closes the self-healing loop described
+// in internal/drift and internal/trainer: a Page-Hinkley detector over the
+// log2 q-error of /v1/estimate feedback plus a column-domain detector over
+// live predicate literals raise drift alarms; each alarm (rate-limited by
+// -retrain-cooldown) submits a supervised retraining job that relabels the
+// training workload against the live data, refits the boot model family,
+// and publishes only through the canary gate. Retraining is crash-safe —
+// progress checkpoints ride the -store directory's fsync+rename machinery —
+// and supervised: failed attempts restart with exponential backoff and
+// quarantine after repeated failure, while a canary-rejected model is never
+// retried (its detector rearms with a widened threshold instead).
+// GET /v1/drift reports detector state, recent alarms, and the retraining
+// job table; /metrics grows drift_* and retrain_* counters.
 //
 // -timeout and -fallback arm the resilience chain around every registered
 // model, exactly as in cardest: a deadline-bound learned stage degrading
@@ -63,11 +80,14 @@ import (
 	"time"
 
 	"qfe/internal/cli"
+	"qfe/internal/drift"
 	"qfe/internal/estimator"
 	"qfe/internal/resilience"
 	"qfe/internal/serve"
+	"qfe/internal/sqlparse"
 	"qfe/internal/store"
 	"qfe/internal/table"
+	"qfe/internal/trainer"
 )
 
 type options struct {
@@ -96,6 +116,14 @@ type options struct {
 	canaryP95    float64
 	probeEvery   time.Duration
 	modelRoot    string
+
+	retrain         bool
+	retrainCooldown time.Duration
+	driftDelta      float64
+	driftLambda     float64
+	driftMin        int
+	driftWindow     int
+	driftOOD        float64
 }
 
 func main() {
@@ -124,6 +152,13 @@ func main() {
 	flag.Float64Var(&o.canaryP95, "canary-p95", 100, "canary ceiling on p95 q-error")
 	flag.DurationVar(&o.probeEvery, "probe-interval", 30*time.Second, "how often the supervisor re-probes the live model (0 disables)")
 	flag.StringVar(&o.modelRoot, "model-root", "", "directory POST /v1/models/load may read snapshots from (default: -store dir, else the working directory)")
+	flag.BoolVar(&o.retrain, "retrain", false, "arm self-healing retraining: drift alarms trigger supervised, checkpointed retrains published through the canary (requires -store)")
+	flag.DurationVar(&o.retrainCooldown, "retrain-cooldown", time.Minute, "minimum gap between drift-triggered retrains")
+	flag.Float64Var(&o.driftDelta, "drift-delta", 0.05, "Page-Hinkley tolerated drift of the mean log2 q-error")
+	flag.Float64Var(&o.driftLambda, "drift-lambda", 25, "Page-Hinkley alarm threshold on accumulated deviation")
+	flag.IntVar(&o.driftMin, "drift-min-samples", 50, "feedback observations before either drift detector may alarm")
+	flag.IntVar(&o.driftWindow, "drift-window", 200, "recent numeric predicate literals the domain detector considers")
+	flag.Float64Var(&o.driftOOD, "drift-ood-fraction", 0.25, "out-of-domain literal fraction that trips the domain detector")
 	flag.Parse()
 
 	if err := run(o, os.Stdout); err != nil {
@@ -154,9 +189,10 @@ func run(o options, out io.Writer) error {
 	// -store arms the crash-safe lifecycle: recovery at boot, canary-gated
 	// publishes, supervised rollback.
 	var lc *serve.Lifecycle
+	var st *store.Store
 	recovered := false
 	if o.storeDir != "" {
-		st, err := store.Open(o.storeDir, store.Options{})
+		st, err = store.Open(o.storeDir, store.Options{})
 		if err != nil {
 			return fmt.Errorf("open model store: %w", err)
 		}
@@ -254,7 +290,64 @@ func run(o options, out io.Writer) error {
 	if modelRoot == "" {
 		modelRoot = "."
 	}
-	srv, err := serve.New(serve.Config{
+
+	// -retrain closes the self-healing loop: drift detectors tap the
+	// /v1/estimate feedback stream, alarms submit supervised checkpointed
+	// retraining jobs, and a retrained model takes traffic only by clearing
+	// the same canary gate as any other publish.
+	var mon *drift.Monitor
+	var ctrl *trainer.Controller
+	if o.retrain {
+		if lc == nil {
+			return fmt.Errorf("-retrain requires -store (retrained models publish through the canary-gated lifecycle)")
+		}
+		qs := make([]*sqlparse.Query, len(env.Train))
+		for i := range env.Train {
+			qs[i] = env.Train[i].Query
+		}
+		ret, err := trainer.NewRetrainer(trainer.RetrainConfig{
+			DB:      env.DB,
+			Queries: qs,
+			NewEstimator: func() (*estimator.Local, error) {
+				return cli.NewLocalEstimator(env.DB, cli.TrainSpec{
+					QFT: o.qft, Model: o.model, Entries: o.entries, Workers: o.workers,
+				})
+			},
+			Lifecycle:  lc,
+			Checkpoint: trainer.NewStoreCheckpointer(st, "retrain"),
+			Workers:    o.workers,
+		})
+		if err != nil {
+			return err
+		}
+		tsup := trainer.NewSupervisor()
+		defer tsup.Close()
+		qcfg := drift.DefaultQErrorConfig()
+		qcfg.Delta, qcfg.Lambda, qcfg.MinSamples = o.driftDelta, o.driftLambda, o.driftMin
+		dcfg := drift.DefaultDomainConfig()
+		dcfg.Window, dcfg.MaxOODFraction, dcfg.MinSamples = o.driftWindow, o.driftOOD, o.driftMin
+		mon, err = drift.NewMonitor(env.DB, drift.MonitorConfig{
+			QError:  qcfg,
+			Domain:  dcfg,
+			OnEvent: func(ev drift.Event) { ctrl.HandleEvent(ev) },
+		})
+		if err != nil {
+			return err
+		}
+		ctrl, err = trainer.NewController(trainer.ControllerConfig{
+			Supervisor: tsup,
+			Retrainer:  ret,
+			Monitor:    mon,
+			Cooldown:   o.retrainCooldown,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "self-healing retraining armed (lambda %.0f, window %d, cooldown %v)\n",
+			o.driftLambda, o.driftWindow, o.retrainCooldown)
+	}
+
+	cfg := serve.Config{
 		Registry:       reg,
 		DB:             env.DB,
 		Batcher:        serve.BatcherConfig{MaxBatch: o.maxBatch, MaxDelay: o.batchDelay, Workers: o.workers},
@@ -262,7 +355,23 @@ func run(o options, out io.Writer) error {
 		DefaultTimeout: o.timeout,
 		ModelRoot:      modelRoot,
 		Lifecycle:      lc,
-	})
+	}
+	if mon != nil {
+		cfg.Feedback = mon.ObserveFeedback
+		cfg.ExtraMetrics = func() map[string]any {
+			extra := mon.Counters()
+			for k, v := range ctrl.Counters() {
+				extra[k] = v
+			}
+			return extra
+		}
+		cfg.StatusPages = map[string]func() any{
+			"/v1/drift": func() any {
+				return map[string]any{"drift": mon.Status(), "retrain": ctrl.Status()}
+			},
+		}
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,207 @@
+package drift
+
+import (
+	"testing"
+
+	"qfe/internal/sqlparse"
+	"qfe/internal/table"
+	"qfe/internal/testutil"
+)
+
+func qerrCfg() QErrorConfig {
+	return QErrorConfig{Delta: 0.05, Lambda: 5, MinSamples: 10, MaxLogQ: 20}
+}
+
+// feedUntilAlarm drives d with good-then-bad q-errors and returns how many
+// bad observations it took to alarm (0 = never alarmed within budget).
+func feedUntilAlarm(t *testing.T, d *QErrorDetector, good, maxBad int) (Event, int) {
+	t.Helper()
+	for i := 0; i < good; i++ {
+		if ev, fired := d.Observe(1); fired {
+			t.Fatalf("alarm after %d healthy observations: %+v", i+1, ev)
+		}
+	}
+	for i := 1; i <= maxBad; i++ {
+		if ev, fired := d.Observe(1024); fired {
+			return ev, i
+		}
+	}
+	return Event{}, 0
+}
+
+func TestQErrorDetectorAlarmsOnDrift(t *testing.T) {
+	d, err := NewQErrorDetector(qerrCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, bad := feedUntilAlarm(t, d, 15, 50)
+	if bad == 0 {
+		t.Fatal("sustained 1024x q-errors never tripped the detector")
+	}
+	if ev.Kind != KindQError {
+		t.Errorf("event kind = %q, want %q", ev.Kind, KindQError)
+	}
+	if ev.Samples < 10 {
+		t.Errorf("alarm after %d samples, below MinSamples", ev.Samples)
+	}
+	if ev.Stat <= ev.Threshold {
+		t.Errorf("alarm stat %v <= threshold %v", ev.Stat, ev.Threshold)
+	}
+	// Alarming auto-resets the statistic so one episode yields one event.
+	if st := d.State(); st["samples"] != 0 {
+		t.Errorf("post-alarm samples = %v, want 0 (auto-reset)", st["samples"])
+	}
+}
+
+func TestQErrorDetectorRespectsMinSamples(t *testing.T) {
+	cfg := qerrCfg()
+	cfg.MinSamples = 50
+	d, err := NewQErrorDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 49; i++ {
+		if ev, fired := d.Observe(1e6); fired {
+			t.Fatalf("alarm at observation %d, before MinSamples=50: %+v", i+1, ev)
+		}
+	}
+}
+
+func TestQErrorRearmWidensThreshold(t *testing.T) {
+	fresh, err := NewQErrorDetector(qerrCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rearmed, err := NewQErrorDetector(qerrCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rearmed.Rearm(4)
+
+	_, freshBad := feedUntilAlarm(t, fresh, 15, 50)
+	_, rearmedBad := feedUntilAlarm(t, rearmed, 15, 50)
+	if freshBad == 0 || rearmedBad == 0 {
+		t.Fatalf("detectors never alarmed (fresh %d, rearmed %d)", freshBad, rearmedBad)
+	}
+	if rearmedBad <= freshBad {
+		t.Errorf("rearmed detector alarmed after %d bad samples, fresh after %d; widening must slow the alarm", rearmedBad, freshBad)
+	}
+
+	// Reset restores full sensitivity.
+	rearmed.Reset()
+	_, resetBad := feedUntilAlarm(t, rearmed, 15, 50)
+	if resetBad != freshBad {
+		t.Errorf("reset detector alarmed after %d bad samples, fresh after %d; Reset must restore the original threshold", resetBad, freshBad)
+	}
+}
+
+func testDB(t *testing.T) *table.DB {
+	t.Helper()
+	tbl := table.New("t")
+	tbl.MustAddColumn(table.NewColumn("a", []int64{0, 2, 4, 6, 8, 9}))
+	tbl.MustAddColumn(table.NewColumn("b", []int64{100, 120, 140, 160, 180, 200}))
+	db := table.NewDB()
+	db.MustAdd(tbl)
+	return db
+}
+
+func parse(t *testing.T, sql string) *sqlparse.Query {
+	t.Helper()
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestDomainDetectorAlarmsOnOutOfDomainLiterals(t *testing.T) {
+	d, err := NewDomainDetector(testDB(t), DomainConfig{Window: 10, MaxOODFraction: 0.5, MinSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := parse(t, "SELECT count(*) FROM t WHERE a >= 2 AND b <= 180")
+	for i := 0; i < 20; i++ {
+		if ev, fired := d.ObserveQuery(in); fired {
+			t.Fatalf("in-domain literals tripped the detector: %+v", ev)
+		}
+	}
+	out := parse(t, "SELECT count(*) FROM t WHERE a >= 50 AND b <= 9999")
+	var ev Event
+	fired := false
+	for i := 0; i < 10 && !fired; i++ {
+		ev, fired = d.ObserveQuery(out)
+	}
+	if !fired {
+		t.Fatal("sustained out-of-domain literals never tripped the detector")
+	}
+	if ev.Kind != KindDomain {
+		t.Errorf("event kind = %q, want %q", ev.Kind, KindDomain)
+	}
+	if ev.Stat <= 0.5 {
+		t.Errorf("alarm fraction %v, want > 0.5", ev.Stat)
+	}
+}
+
+func TestDomainDetectorSkipsUnknownColumns(t *testing.T) {
+	d, err := NewDomainDetector(testDB(t), DomainConfig{Window: 10, MaxOODFraction: 0.5, MinSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := parse(t, "SELECT count(*) FROM t WHERE nosuch >= 99999")
+	for i := 0; i < 20; i++ {
+		if ev, fired := d.ObserveQuery(q); fired {
+			t.Fatalf("unknown column literal tripped the detector: %+v", ev)
+		}
+	}
+}
+
+func TestMonitorForwardsAlarmsAndCounts(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	var events []Event
+	mon, err := NewMonitor(testDB(t), MonitorConfig{
+		QError:  QErrorConfig{Delta: 0.05, Lambda: 2, MinSamples: 5, MaxLogQ: 20},
+		Domain:  DomainConfig{Window: 10, MaxOODFraction: 0.5, MinSamples: 5},
+		OnEvent: func(ev Event) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := parse(t, "SELECT count(*) FROM t WHERE a >= 2")
+	for i := 0; i < 6; i++ {
+		mon.ObserveFeedback(q, 100, 100) // q-error 1: healthy
+	}
+	for i := 0; i < 10 && len(events) == 0; i++ {
+		mon.ObserveFeedback(q, 1, 1e6) // q-error 1e6: drifted
+	}
+	if len(events) == 0 {
+		t.Fatal("monitor never forwarded a q-error alarm")
+	}
+	if events[0].Kind != KindQError {
+		t.Errorf("forwarded event kind = %q, want %q", events[0].Kind, KindQError)
+	}
+
+	c := mon.Counters()
+	if c["drift_alarms_qerror"].(uint64) == 0 {
+		t.Error("drift_alarms_qerror counter is 0 after an alarm")
+	}
+	if c["drift_feedback_observed"].(uint64) < 7 {
+		t.Errorf("drift_feedback_observed = %v, want >= 7", c["drift_feedback_observed"])
+	}
+
+	st := mon.Status()
+	if recent := st["recent"].([]Event); len(recent) == 0 {
+		t.Error("Status reports no recent events after an alarm")
+	}
+
+	// Unlabeled feedback (actual <= 0) must not touch the q-error path.
+	before := mon.Counters()["drift_alarms_qerror"].(uint64)
+	for i := 0; i < 20; i++ {
+		mon.ObserveFeedback(q, 1, 0)
+	}
+	if after := mon.Counters()["drift_alarms_qerror"].(uint64); after != before {
+		t.Errorf("unlabeled feedback moved the q-error alarm counter %d -> %d", before, after)
+	}
+
+	mon.Rearm(2)
+	mon.Reset()
+}

@@ -1,12 +1,37 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 
 	"qfe/internal/ml/gb"
 	"qfe/internal/ml/linreg"
 	"qfe/internal/ml/nn"
 )
+
+// FitOpts carries the cancellation-era fitting options of CtxRegressor.
+// Checkpoint payloads are opaque to this layer: each model family defines
+// its own format, and the bytes round-trip through the caller unchanged.
+type FitOpts struct {
+	// CheckpointEvery emits a checkpoint every this-many model-specific
+	// units of progress (trees for GB, epochs for NN); 0 disables.
+	CheckpointEvery int
+	// OnCheckpoint receives each serialized checkpoint; a non-nil return
+	// aborts the fit.
+	OnCheckpoint func(payload []byte) error
+	// Resume, when non-empty, continues a fit from a payload previously
+	// passed to OnCheckpoint.
+	Resume []byte
+}
+
+// CtxRegressor extends Regressor with a cancelable, checkpointable fit.
+// All built-in regressors implement it; models with nothing worth
+// checkpointing (closed-form linear regression) honor cancellation and
+// ignore the checkpoint options.
+type CtxRegressor interface {
+	Regressor
+	FitCtx(ctx context.Context, X [][]float64, y []float64, opts FitOpts) error
+}
 
 // Regressor is the model-agnostic fitting interface the QFT layer plugs
 // into — the paper's point that its featurizations are model-independent
@@ -46,7 +71,16 @@ func (r *GBRegressor) Name() string { return "GB" }
 
 // Fit implements Regressor.
 func (r *GBRegressor) Fit(X [][]float64, y []float64) error {
-	m, err := gb.Train(X, y, r.Cfg)
+	return r.FitCtx(context.Background(), X, y, FitOpts{})
+}
+
+// FitCtx implements CtxRegressor; checkpoints every CheckpointEvery trees.
+func (r *GBRegressor) FitCtx(ctx context.Context, X [][]float64, y []float64, opts FitOpts) error {
+	m, err := gb.TrainCtx(ctx, X, y, r.Cfg, &gb.TrainOpts{
+		CheckpointEvery: opts.CheckpointEvery,
+		OnCheckpoint:    opts.OnCheckpoint,
+		Resume:          opts.Resume,
+	})
 	if err != nil {
 		return err
 	}
@@ -87,7 +121,16 @@ func (r *NNRegressor) Name() string { return "NN" }
 
 // Fit implements Regressor.
 func (r *NNRegressor) Fit(X [][]float64, y []float64) error {
-	m, err := nn.Train(X, y, r.Cfg)
+	return r.FitCtx(context.Background(), X, y, FitOpts{})
+}
+
+// FitCtx implements CtxRegressor; checkpoints every CheckpointEvery epochs.
+func (r *NNRegressor) FitCtx(ctx context.Context, X [][]float64, y []float64, opts FitOpts) error {
+	m, err := nn.TrainCtx(ctx, X, y, r.Cfg, &nn.TrainOpts{
+		CheckpointEvery: opts.CheckpointEvery,
+		OnCheckpoint:    opts.OnCheckpoint,
+		Resume:          opts.Resume,
+	})
 	if err != nil {
 		return err
 	}
@@ -130,7 +173,13 @@ func (r *LinRegRegressor) Name() string { return "LR" }
 
 // Fit implements Regressor.
 func (r *LinRegRegressor) Fit(X [][]float64, y []float64) error {
-	m, err := linreg.Train(X, y, r.Cfg)
+	return r.FitCtx(context.Background(), X, y, FitOpts{})
+}
+
+// FitCtx implements CtxRegressor. The closed-form solve honors
+// cancellation but has no resumable state; checkpoint options are ignored.
+func (r *LinRegRegressor) FitCtx(ctx context.Context, X [][]float64, y []float64, _ FitOpts) error {
+	m, err := linreg.TrainCtx(ctx, X, y, r.Cfg)
 	if err != nil {
 		return err
 	}

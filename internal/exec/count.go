@@ -291,6 +291,54 @@ func CountManyWorkers(ctx context.Context, db *table.DB, qs []*sqlparse.Query, w
 	return out, nil
 }
 
+// CountManyResume is CountManyWorkers for interrupted labeling runs: prior
+// holds the labels computed so far (-1 marks "not yet labeled", matching the
+// failure sentinel of CountManyCtx), and only those entries are executed —
+// completed labels are copied through untouched. cache may be shared across
+// resume attempts (nil disables caching). The returned slice always has
+// len(qs); error semantics match CountManyCtx (deterministic smallest-index
+// *QueryError).
+//
+// A checkpointing labeler alternates CountManyResume over a slice of the
+// batch with persisting the partial label vector: after a crash it reloads
+// the vector and hands it straight back as prior, paying only for the
+// queries whose labels were never made durable.
+func CountManyResume(ctx context.Context, db *table.DB, qs []*sqlparse.Query, prior []int64, cache *PredCache, workers int) ([]int64, error) {
+	if prior != nil && len(prior) != len(qs) {
+		return nil, fmt.Errorf("exec: %d prior labels for %d queries", len(prior), len(qs))
+	}
+	out := make([]int64, len(qs))
+	todo := make([]int, 0, len(qs))
+	for i := range qs {
+		if prior != nil && prior[i] >= 0 {
+			out[i] = prior[i]
+			continue
+		}
+		out[i] = -1
+		todo = append(todo, i)
+	}
+	errs := make([]error, len(qs))
+	parallel.Do(len(todo), parallel.Workers(workers), func(j int) {
+		i := todo[j]
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		c, err := CountCached(ctx, db, qs[i], cache)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out[i] = c
+	})
+	for i, err := range errs {
+		if err != nil {
+			return out, &QueryError{Index: i, Query: qs[i].String(), Err: err}
+		}
+	}
+	return out, nil
+}
+
 // CountMany labels a batch of queries sequentially, preserving the original
 // all-or-nothing contract: the first failure discards the batch. New code
 // should prefer CountManyCtx, which parallelizes, keeps partial results,

@@ -10,13 +10,36 @@
 package gb
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"qfe/internal/parallel"
 )
+
+// ErrCanceled reports that training was aborted by its context. The
+// returned error also wraps the context's own error, so callers may test
+// either errors.Is(err, ErrCanceled) or errors.Is(err, context.Canceled).
+var ErrCanceled = errors.New("gb: training canceled")
+
+// TrainOpts carries the optional checkpointing hooks of TrainCtx. The zero
+// value (or a nil pointer) trains without checkpoints.
+type TrainOpts struct {
+	// CheckpointEvery emits a checkpoint after every this-many completed
+	// trees; 0 disables checkpointing.
+	CheckpointEvery int
+	// OnCheckpoint receives each serialized checkpoint. A non-nil return
+	// aborts training with that error: a trainer that cannot persist its
+	// progress must not pretend the run is resumable.
+	OnCheckpoint func(payload []byte) error
+	// Resume, when non-empty, is a payload previously passed to
+	// OnCheckpoint; training continues from it bit-identically to a run
+	// that was never interrupted (same Config, X, and y required).
+	Resume []byte
+}
 
 // Config holds the gradient-boosting hyperparameters. The zero value is not
 // usable; start from DefaultConfig.
@@ -131,6 +154,14 @@ type Model struct {
 // Train fits a gradient-boosting model on X (row-major samples) and targets
 // y. X must be rectangular and len(X) == len(y).
 func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
+	return TrainCtx(context.Background(), X, y, cfg, nil)
+}
+
+// TrainCtx is Train with cancellation (checked between boosting stages) and
+// optional checkpointing. Resuming from a checkpoint replays the RNG draws
+// of the completed trees, so the finished ensemble is bit-identical to an
+// uninterrupted run with the same inputs.
+func TrainCtx(ctx context.Context, X [][]float64, y []float64, cfg Config, opts *TrainOpts) (*Model, error) {
 	n := len(X)
 	d := 0
 	if n > 0 {
@@ -170,7 +201,48 @@ func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
 		allRows[i] = i
 	}
 
-	for t := 0; t < cfg.NumTrees; t++ {
+	startTree := 0
+	if opts != nil && len(opts.Resume) > 0 {
+		var ck Model
+		if err := json.Unmarshal(opts.Resume, &ck); err != nil {
+			return nil, fmt.Errorf("gb: decode checkpoint: %w", err)
+		}
+		switch {
+		case ck.Cfg != cfg:
+			return nil, fmt.Errorf("gb: checkpoint config %+v does not match %+v", ck.Cfg, cfg)
+		case ck.Dim != d:
+			return nil, fmt.Errorf("gb: checkpoint dim %d, training data has %d", ck.Dim, d)
+		case len(ck.Trees) > cfg.NumTrees:
+			return nil, fmt.Errorf("gb: checkpoint has %d trees, config wants %d", len(ck.Trees), cfg.NumTrees)
+		}
+		m.Trees = ck.Trees
+		startTree = len(ck.Trees)
+		// Replay the subsampling draws the completed trees consumed, so the
+		// remaining trees see the exact RNG stream they would have seen.
+		for t := 0; t < startTree; t++ {
+			if cfg.SubsampleRows < 1 {
+				sampleInts(rng, n, int(math.Ceil(cfg.SubsampleRows*float64(n))))
+			}
+			if cfg.SubsampleCols < 1 {
+				sampleInts(rng, d, int(math.Ceil(cfg.SubsampleCols*float64(d))))
+			}
+		}
+		// Rebuild the running predictions from the restored ensemble.
+		parallel.DoChunks(n, b.workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				p := m.Base
+				for _, tr := range m.Trees {
+					p += cfg.LearningRate * tr.predict(X[i])
+				}
+				pred[i] = p
+			}
+		})
+	}
+
+	for t := startTree; t < cfg.NumTrees; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
 		for i := range resid {
 			resid[i] = y[i] - pred[i]
 		}
@@ -193,6 +265,16 @@ func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
 				pred[i] += cfg.LearningRate * tr.predict(X[i])
 			}
 		})
+		if opts != nil && opts.OnCheckpoint != nil && opts.CheckpointEvery > 0 &&
+			(t+1)%opts.CheckpointEvery == 0 && t+1 < cfg.NumTrees {
+			payload, err := json.Marshal(m)
+			if err != nil {
+				return nil, fmt.Errorf("gb: encode checkpoint: %w", err)
+			}
+			if err := opts.OnCheckpoint(payload); err != nil {
+				return nil, fmt.Errorf("gb: checkpoint after tree %d: %w", t+1, err)
+			}
+		}
 	}
 	return m, nil
 }

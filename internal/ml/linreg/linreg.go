@@ -10,9 +10,15 @@
 package linreg
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrCanceled reports that fitting was aborted by its context; the returned
+// error also wraps the context's own error.
+var ErrCanceled = errors.New("linreg: training canceled")
 
 // Config holds the ridge hyperparameters.
 type Config struct {
@@ -32,6 +38,14 @@ type Model struct {
 
 // Train fits the model on row-major X and targets y.
 func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
+	return TrainCtx(context.Background(), X, y, cfg)
+}
+
+// TrainCtx is Train with cancellation, checked periodically during the
+// normal-equation accumulation (the only loop whose cost grows with the
+// sample count). The closed-form solve has no intermediate state worth
+// checkpointing: an aborted fit simply restarts.
+func TrainCtx(ctx context.Context, X [][]float64, y []float64, cfg Config) (*Model, error) {
 	n := len(X)
 	if n == 0 {
 		return nil, fmt.Errorf("linreg: no training samples")
@@ -59,6 +73,11 @@ func Train(X [][]float64, y []float64, cfg Config) (*Model, error) {
 	bvec := make([]float64, k)
 	row := make([]float64, k)
 	for i := 0; i < n; i++ {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("%w: %w", ErrCanceled, err)
+			}
+		}
 		copy(row, X[i])
 		row[d] = 1 // bias term
 		for a := 0; a < k; a++ {

@@ -1,0 +1,71 @@
+package mlmath
+
+import "fmt"
+
+// DenseState is the complete serializable training state of a Dense layer:
+// the weights plus both Adam accumulators. Persisting it mid-training (the
+// checkpoint path of internal/trainer) lets a resumed run continue
+// bit-identically to one that never stopped — restoring only the weights
+// would reset the optimizer's moment estimates and change every subsequent
+// update.
+type DenseState struct {
+	In  int       `json:"in"`
+	Out int       `json:"out"`
+	W   []float64 `json:"w"`
+	B   []float64 `json:"b"`
+
+	WM []float64 `json:"wm"` // Adam first moment for W
+	WV []float64 `json:"wv"` // Adam second moment for W
+	WT int       `json:"wt"` // Adam step count for W
+	BM []float64 `json:"bm"`
+	BV []float64 `json:"bv"`
+	BT int       `json:"bt"`
+}
+
+// State snapshots the layer's full training state. The returned slices are
+// copies; mutating them does not affect the layer.
+func (d *Dense) State() DenseState {
+	cp := func(xs []float64) []float64 { return append([]float64(nil), xs...) }
+	return DenseState{
+		In: d.In, Out: d.Out,
+		W:  cp(d.W),
+		B:  cp(d.B),
+		WM: cp(d.adamW.m), WV: cp(d.adamW.v), WT: d.adamW.t,
+		BM: cp(d.adamB.m), BV: cp(d.adamB.v), BT: d.adamB.t,
+	}
+}
+
+// SetState restores a state captured by State into a layer of the same
+// shape. Gradient buffers are zeroed: a checkpoint is only ever taken at a
+// step boundary, where accumulated gradients are dead state.
+func (d *Dense) SetState(st DenseState) error {
+	if st.In != d.In || st.Out != d.Out {
+		return fmt.Errorf("mlmath: state shape %dx%d does not match layer %dx%d",
+			st.In, st.Out, d.In, d.Out)
+	}
+	n, o := d.In*d.Out, d.Out
+	for name, got := range map[string]int{
+		"W": len(st.W), "WM": len(st.WM), "WV": len(st.WV),
+	} {
+		if got != n {
+			return fmt.Errorf("mlmath: state %s has %d values, want %d", name, got, n)
+		}
+	}
+	for name, got := range map[string]int{
+		"B": len(st.B), "BM": len(st.BM), "BV": len(st.BV),
+	} {
+		if got != o {
+			return fmt.Errorf("mlmath: state %s has %d values, want %d", name, got, o)
+		}
+	}
+	copy(d.W, st.W)
+	copy(d.B, st.B)
+	copy(d.adamW.m, st.WM)
+	copy(d.adamW.v, st.WV)
+	d.adamW.t = st.WT
+	copy(d.adamB.m, st.BM)
+	copy(d.adamB.v, st.BV)
+	d.adamB.t = st.BT
+	d.ZeroGrad()
+	return nil
+}

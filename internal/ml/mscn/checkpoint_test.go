@@ -1,0 +1,101 @@
+package mscn
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestCheckpointResumeBitIdentical: interrupt mid-training, resume, and the
+// finished model must predict bit-identically to an uninterrupted run (all
+// eight dense layers' weights and Adam moments ride the checkpoint; the
+// per-epoch shuffles are replayed).
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var samples []*Sets
+	var y []float64
+	for i := 0; i < 400; i++ {
+		s, target := synthSample(rng)
+		samples = append(samples, s)
+		y = append(y, target)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+	cfg.Epochs = 10
+
+	baseline, err := Train(samples, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last []byte
+	seen := 0
+	_, err = TrainCtx(ctx, samples, y, cfg, &TrainOpts{
+		CheckpointEvery: 3,
+		OnCheckpoint: func(payload []byte) error {
+			last = append([]byte(nil), payload...)
+			if seen++; seen == 2 { // canceled after epoch 6
+				cancel()
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted TrainCtx error = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if last == nil {
+		t.Fatal("no checkpoint was emitted before cancellation")
+	}
+
+	resumed, err := TrainCtx(context.Background(), samples, y, cfg, &TrainOpts{Resume: last})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		s, _ := synthSample(rng)
+		if baseline.Predict(s) != resumed.Predict(s) {
+			t.Fatalf("prediction %d diverged after resume", i)
+		}
+	}
+}
+
+func TestCheckpointResumeRejectsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	var samples []*Sets
+	var y []float64
+	for i := 0; i < 200; i++ {
+		s, target := synthSample(rng)
+		samples = append(samples, s)
+		y = append(y, target)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 6
+	cfg.Epochs = 6
+
+	var last []byte
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := TrainCtx(ctx, samples, y, cfg, &TrainOpts{
+		CheckpointEvery: 2,
+		OnCheckpoint: func(payload []byte) error {
+			last = append([]byte(nil), payload...)
+			cancel()
+			return nil
+		},
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("TrainCtx error = %v, want ErrCanceled", err)
+	}
+
+	other := cfg
+	other.LearningRate = cfg.LearningRate * 2
+	if _, err := TrainCtx(context.Background(), samples, y, other, &TrainOpts{Resume: last}); err == nil {
+		t.Error("resume with a different Config succeeded, want error")
+	}
+	if _, err := TrainCtx(context.Background(), samples, y, cfg, &TrainOpts{Resume: []byte("nope")}); err == nil {
+		t.Error("resume from garbage succeeded, want error")
+	}
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"qfe/internal/sqlparse"
+)
+
+func TestFiniteActual(t *testing.T) {
+	for _, v := range []float64{0, -1, 1, 1e308} {
+		if !finiteActual(v) {
+			t.Errorf("finiteActual(%v) = false, want true", v)
+		}
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if finiteActual(v) {
+			t.Errorf("finiteActual(%v) = true, want false", v)
+		}
+	}
+}
+
+// TestEstimateRejectsNonFiniteActual proves the ingestion edge is closed:
+// an out-of-range JSON number fails at the decoder, and a crafted non-finite
+// value that somehow got past it would fail the explicit check — either
+// way the request gets a 400, and nothing non-finite reaches the q-error
+// histogram or the drift detectors.
+func TestEstimateRejectsNonFiniteActual(t *testing.T) {
+	srv := newStubServer(t, constEst(42), nil)
+	h := srv.Handler()
+
+	code, _ := rawPost(t, h, "/v1/estimate", []byte(`{"sql": "SELECT count(*) FROM t WHERE a >= 1", "actual": 1e400}`))
+	if code != http.StatusBadRequest {
+		t.Errorf("single with actual=1e400: status %d, want 400", code)
+	}
+	code, resp := rawPost(t, h, "/v1/estimate", []byte(`{"queries": [{"sql": "q", "actual": 1e400}]}`))
+	if code != http.StatusBadRequest {
+		t.Errorf("batch with actual=1e400: status %d, body %v, want 400", code, resp)
+	}
+	if qe := srv.Metrics().Snapshot()["qerror"].(map[string]any); qe["count"] != int64(0) {
+		t.Errorf("qerror histogram count = %v after rejected feedback, want 0", qe["count"])
+	}
+}
+
+func TestFeedbackHookObservesServedQueries(t *testing.T) {
+	type obs struct {
+		tables      int
+		est, actual float64
+	}
+	var mu sync.Mutex
+	var seen []obs
+	srv := newStubServer(t, constEst(42), func(cfg *Config) {
+		cfg.Feedback = func(q *sqlparse.Query, est, actual float64) {
+			mu.Lock()
+			seen = append(seen, obs{tables: len(q.Tables), est: est, actual: actual})
+			mu.Unlock()
+		}
+	})
+	h := srv.Handler()
+
+	if code, _ := postJSON(t, h, "/v1/estimate", map[string]any{"sql": stubSQL, "actual": 84}); code != http.StatusOK {
+		t.Fatalf("single estimate status %d", code)
+	}
+	if code, _ := postJSON(t, h, "/v1/estimate", map[string]any{"queries": []map[string]any{
+		{"sql": stubSQL, "actual": 21},
+		{"sql": stubSQL}, // no feedback: hook still sees the query with actual 0
+	}}); code != http.StatusOK {
+		t.Fatalf("batch estimate status %d", code)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 {
+		t.Fatalf("feedback hook saw %d queries, want 3", len(seen))
+	}
+	if seen[0].est != 42 || seen[0].actual != 84 {
+		t.Errorf("single feedback = %+v, want est 42 actual 84", seen[0])
+	}
+	actuals := map[float64]bool{seen[1].actual: true, seen[2].actual: true}
+	if !actuals[21] || !actuals[0] {
+		t.Errorf("batch feedback actuals = %+v, want {21, 0}", actuals)
+	}
+}
+
+func TestFeedbackHookSkipsFailedEstimates(t *testing.T) {
+	var calls int
+	srv := newStubServer(t, errEst{}, func(cfg *Config) {
+		cfg.Feedback = func(*sqlparse.Query, float64, float64) { calls++ }
+	})
+	postJSON(t, srv.Handler(), "/v1/estimate", map[string]any{"sql": stubSQL, "actual": 10})
+	if calls != 0 {
+		t.Errorf("feedback hook ran %d times for a failed estimate, want 0", calls)
+	}
+}
+
+func TestExtraMetricsMergedIntoSnapshot(t *testing.T) {
+	srv := newStubServer(t, constEst(1), func(cfg *Config) {
+		cfg.ExtraMetrics = func() map[string]any {
+			return map[string]any{
+				"drift_alarms_qerror": uint64(3),
+				"requests_total":      int64(999999), // collision: the server's value must win
+			}
+		}
+	})
+	code, m := getJSON(t, srv.Handler(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if m["drift_alarms_qerror"] != 3.0 {
+		t.Errorf("drift_alarms_qerror = %v, want 3", m["drift_alarms_qerror"])
+	}
+	if m["requests_total"] == 999999.0 {
+		t.Error("extra metrics overrode a built-in counter; built-ins must win")
+	}
+}
+
+func TestStatusPages(t *testing.T) {
+	srv := newStubServer(t, constEst(1), func(cfg *Config) {
+		cfg.StatusPages = map[string]func() any{
+			"/v1/drift": func() any { return map[string]any{"observed": 7} },
+		}
+	})
+	h := srv.Handler()
+	code, v := getJSON(t, h, "/v1/drift")
+	if code != http.StatusOK || v["observed"] != 7.0 {
+		t.Fatalf("GET /v1/drift = (%d, %v), want 200 with observed 7", code, v)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/drift", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/drift status %d, want 405", rec.Code)
+	}
+}

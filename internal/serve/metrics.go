@@ -106,6 +106,10 @@ type Metrics struct {
 
 	latency *histogram // per-query estimation latency, microseconds
 	qerror  *histogram // q-error of estimates with reported actuals
+
+	// extra, when non-nil, is merged into Snapshot under the server's own
+	// keys (which win on collision). Written once before traffic starts.
+	extra func() map[string]any
 }
 
 func newMetrics() *Metrics {
@@ -206,7 +210,7 @@ func (m *Metrics) observeStatus(code int) {
 // Snapshot renders every counter into a flat, JSON-marshalable map.
 // encoding/json sorts map keys, so the output is deterministic.
 func (m *Metrics) Snapshot() map[string]any {
-	return map[string]any{
+	snap := map[string]any{
 		"uptime_seconds":        time.Since(m.start).Seconds(),
 		"requests_total":        m.requests.Load(),
 		"queries_total":         m.queries.Load(),
@@ -232,6 +236,14 @@ func (m *Metrics) Snapshot() map[string]any {
 		"latency_micros":        m.latency.snapshot(),
 		"qerror":                m.qerror.snapshot(),
 	}
+	if m.extra != nil {
+		for k, v := range m.extra() {
+			if _, taken := snap[k]; !taken {
+				snap[k] = v
+			}
+		}
+	}
+	return snap
 }
 
 // ServeHTTP renders the snapshot as JSON, expvar-style.

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -85,6 +86,19 @@ type Config struct {
 	// enables POST /v1/models/rollback. Nil preserves the direct,
 	// ungated load path.
 	Lifecycle *Lifecycle
+	// Feedback, when non-nil, observes every successfully estimated query
+	// together with the client-reported true cardinality (0 when the client
+	// reported none). Called synchronously on the request path — keep it
+	// cheap. This is how the drift monitor taps the serving stream.
+	Feedback func(q *sqlparse.Query, estimate, actual float64)
+	// ExtraMetrics, when non-nil, is merged into the /metrics snapshot;
+	// the server's own keys win on collision. Drift and retraining counters
+	// ride in this way.
+	ExtraMetrics func() map[string]any
+	// StatusPages maps extra GET paths (e.g. "/v1/drift") to functions whose
+	// result is rendered as JSON. Paths here must not collide with the
+	// built-in endpoints.
+	StatusPages map[string]func() any
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +160,18 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/models/rollback", s.handleRollback)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/metrics", s.metrics)
+	s.metrics.extra = cfg.ExtraMetrics
+	for path, fn := range cfg.StatusPages {
+		fn := fn
+		s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				w.Header().Set("Allow", http.MethodGet)
+				writeError(w, http.StatusMethodNotAllowed, "use GET")
+				return
+			}
+			writeJSON(w, http.StatusOK, fn())
+		})
+	}
 	return s, nil
 }
 
@@ -284,6 +310,13 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, `provide exactly one of "sql" or "queries"`)
 		return
 	}
+	// Feedback values enter detectors and histograms downstream; a NaN or
+	// ±Inf actual is rejected here at the edge so nothing past this point
+	// needs to re-check. (Negative actuals already mean "no feedback".)
+	if !finiteActual(req.Actual) {
+		writeError(w, http.StatusBadRequest, `"actual" must be a finite number`)
+		return
+	}
 	if len(req.Queries) > s.cfg.MaxQueriesPerRequest {
 		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d queries exceeds the %d-query limit", len(req.Queries), s.cfg.MaxQueriesPerRequest)
 		return
@@ -321,6 +354,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	qs := make([]*sqlparse.Query, 0, len(req.Queries))
 	idx := make([]int, 0, len(req.Queries))
 	for i, item := range req.Queries {
+		if !finiteActual(item.Actual) {
+			results[i] = estimateResult{Error: `"actual" must be a finite number`}
+			s.metrics.estErrors.Add(1)
+			continue
+		}
 		q, err := s.parseAndBind(item.SQL)
 		if err != nil {
 			results[i] = estimateResult{Error: err.Error()}
@@ -337,8 +375,13 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		i := idx[j]
 		results[i] = toResult(br, elapsed/time.Duration(max(1, len(batchRes))))
 		s.metrics.observeQuery(elapsed/time.Duration(max(1, len(batchRes))), br.Degraded, br.Err)
-		if br.Err == nil && req.Queries[i].Actual > 0 {
-			s.metrics.ObserveQError(metrics.QError(req.Queries[i].Actual, br.Estimate))
+		if br.Err == nil {
+			if req.Queries[i].Actual > 0 {
+				s.metrics.ObserveQError(metrics.QError(req.Queries[i].Actual, br.Estimate))
+			}
+			if s.cfg.Feedback != nil {
+				s.cfg.Feedback(qs[j], br.Estimate, req.Queries[i].Actual)
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, estimateResponse{Model: info.Name, Results: results})
@@ -351,10 +394,22 @@ func (s *Server) estimateTimed(ctx context.Context, est estimator.Estimator, q *
 	br := s.batcher.Do(ctx, est, q)
 	elapsed := time.Since(start)
 	s.metrics.observeQuery(elapsed, br.Degraded, br.Err)
-	if br.Err == nil && actual > 0 {
-		s.metrics.ObserveQError(metrics.QError(actual, br.Estimate))
+	if br.Err == nil {
+		if actual > 0 {
+			s.metrics.ObserveQError(metrics.QError(actual, br.Estimate))
+		}
+		if s.cfg.Feedback != nil {
+			s.cfg.Feedback(q, br.Estimate, actual)
+		}
 	}
 	return toResult(br, elapsed)
+}
+
+// finiteActual vets a client-reported true cardinality at the ingestion
+// edge. Zero (absent) and negative values are fine — they mean "no
+// feedback" — but NaN and ±Inf are malformed.
+func finiteActual(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 func toResult(br EstResult, elapsed time.Duration) estimateResult {

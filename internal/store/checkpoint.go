@@ -1,0 +1,132 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Training checkpoints ride on the store's crash-safety machinery without
+// entering the generation lifecycle: a checkpoint is a single CRC-framed
+// file (PayloadCheckpoint kind) committed by write-fsync-rename, replaced
+// atomically on every save, and invisible to Latest/Recover/Rollback. A
+// crashed trainer therefore resumes from the last checkpoint whose rename
+// landed; a torn write leaves only a tmp-ckpt- file the next Open sweeps.
+//
+// Layout:
+//
+//	tmp-ckpt-<name>   in-flight write (swept at Open)
+//	ckpt-<name>       committed checkpoint (the rename target)
+
+// ErrBadCheckpointName rejects checkpoint names that could escape the store
+// directory or collide with the generation namespace.
+var ErrBadCheckpointName = errors.New("store: bad checkpoint name")
+
+// validateCheckpointName confines names to a single flat, portable token.
+func validateCheckpointName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("%w: %q (want 1-128 characters)", ErrBadCheckpointName, name)
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return fmt.Errorf("%w: %q (want [A-Za-z0-9._-])", ErrBadCheckpointName, name)
+		}
+	}
+	if strings.HasPrefix(name, ".") {
+		return fmt.Errorf("%w: %q (must not start with a dot)", ErrBadCheckpointName, name)
+	}
+	return nil
+}
+
+// PutCheckpoint durably replaces the named training checkpoint. On any
+// error nothing is replaced: the previous checkpoint (if one exists) is
+// still the one ReadCheckpoint returns, and a torn temp file is swept by
+// the next Open. An error from SyncDir is reported — the rename may not be
+// durable — and callers must treat the save as failed.
+func (s *Store) PutCheckpoint(name string, payload []byte) error {
+	if err := validateCheckpointName(name); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return fmt.Errorf("store: refusing to write an empty checkpoint %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := filepath.Join(s.dir, tmpCkptPrefix+name)
+	final := filepath.Join(s.dir, ckptPrefix+name)
+	if err := s.fs.WriteFile(tmp, frameKind(PayloadCheckpoint, payload)); err != nil {
+		s.fs.RemoveAll(tmp) //nolint:errcheck // best-effort; Open sweeps leftovers
+		return fmt.Errorf("store: write checkpoint %q: %w", name, err)
+	}
+	if err := s.fs.Rename(tmp, final); err != nil {
+		s.fs.RemoveAll(tmp) //nolint:errcheck
+		return fmt.Errorf("store: commit checkpoint %q: %w", name, err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("store: sync after checkpoint %q: %w", name, err)
+	}
+	return nil
+}
+
+// ReadCheckpoint returns the committed payload of the named checkpoint.
+// ok is false when no usable checkpoint exists; err is additionally non-nil
+// when a checkpoint file is present but corrupt (bad frame, checksum, or
+// kind) — callers should log it and start the work from scratch.
+func (s *Store) ReadCheckpoint(name string) (payload []byte, ok bool, err error) {
+	if err := validateCheckpointName(name); err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, err := s.fs.ReadFile(filepath.Join(s.dir, ckptPrefix+name))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("store: read checkpoint %q: %w", name, err)
+	}
+	payload, _, err = unframeKind(raw, PayloadCheckpoint)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: checkpoint %q: %w", name, err)
+	}
+	return payload, true, nil
+}
+
+// ClearCheckpoint removes the named checkpoint; clearing a checkpoint that
+// does not exist is not an error (a completed job clears unconditionally).
+func (s *Store) ClearCheckpoint(name string) error {
+	if err := validateCheckpointName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.fs.RemoveAll(filepath.Join(s.dir, ckptPrefix+name)); err != nil {
+		return fmt.Errorf("store: clear checkpoint %q: %w", name, err)
+	}
+	s.fs.SyncDir(s.dir) //nolint:errcheck // removal is visible either way
+	return nil
+}
+
+// Checkpoints lists the names of committed checkpoints, sorted.
+func (s *Store) Checkpoints() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan %s: %w", s.dir, err)
+	}
+	var out []string
+	for _, n := range names {
+		if strings.HasPrefix(n, ckptPrefix) {
+			out = append(out, strings.TrimPrefix(n, ckptPrefix))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

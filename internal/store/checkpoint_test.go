@@ -1,0 +1,174 @@
+package store_test
+
+// Checkpoint slots ride the same fsync+rename machinery as generations, so
+// they get the same chaos treatment: crash and torn-write sweeps across
+// every mutating operation of a save, plus read-side corruption. The
+// invariant is weaker than a generation's (a checkpoint may simply be lost
+// — callers restart from scratch) but strictly no torn payload may ever
+// read back as valid.
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"qfe/internal/resilience/faultinject"
+	"qfe/internal/store"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	s, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.ReadCheckpoint("job"); ok || err != nil {
+		t.Fatalf("ReadCheckpoint on empty store = (ok=%v, err=%v), want (false, nil)", ok, err)
+	}
+	if err := s.PutCheckpoint("job", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCheckpoint("job", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.ReadCheckpoint("job")
+	if err != nil || !ok || !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("ReadCheckpoint = (%q, %v, %v), want (v2, true, nil)", got, ok, err)
+	}
+
+	// Checkpoints are invisible to the generation lifecycle.
+	if _, ok := s.Latest(); ok {
+		t.Fatal("a checkpoint save produced a generation")
+	}
+	names, err := s.Checkpoints()
+	if err != nil || len(names) != 1 || names[0] != "job" {
+		t.Fatalf("Checkpoints = (%v, %v), want ([job], nil)", names, err)
+	}
+
+	if err := s.ClearCheckpoint("job"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.ReadCheckpoint("job"); ok {
+		t.Fatal("checkpoint survived Clear")
+	}
+	if err := s.ClearCheckpoint("job"); err != nil {
+		t.Fatalf("clearing a missing checkpoint = %v, want nil", err)
+	}
+}
+
+func TestCheckpointNameValidation(t *testing.T) {
+	s, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", ".hidden", "a/b", "a b", strings.Repeat("x", 129)} {
+		if err := s.PutCheckpoint(name, []byte("p")); !errors.Is(err, store.ErrBadCheckpointName) {
+			t.Errorf("PutCheckpoint(%q) = %v, want ErrBadCheckpointName", name, err)
+		}
+	}
+	for _, name := range []string{"job", "re-train.2", "A_9"} {
+		if err := s.PutCheckpoint(name, []byte("p")); err != nil {
+			t.Errorf("PutCheckpoint(%q) = %v, want nil", name, err)
+		}
+	}
+}
+
+// countCheckpointOps measures the mutating-op budget of Open + one save.
+func countCheckpointOps(t *testing.T, dir string) int {
+	t.Helper()
+	ffs := faultinject.NewFS(nil, faultinject.FSConfig{Kind: faultinject.FSNone})
+	s, err := store.Open(dir, store.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCheckpoint("job", []byte("count")); err != nil {
+		t.Fatal(err)
+	}
+	return ffs.MutatingOps()
+}
+
+// TestCheckpointCrashSweep crashes (plain and torn-write) at every mutating
+// operation of a checkpoint save over an existing checkpoint. After each
+// crash the durable state must be the old payload or the new one — a save
+// either happened or it didn't.
+func TestCheckpointCrashSweep(t *testing.T) {
+	const oldPayload = "durable progress @ epoch 4"
+	const newPayload = "durable progress @ epoch 8"
+
+	seed := func() string {
+		dir := t.TempDir()
+		s, err := store.Open(dir, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutCheckpoint("job", []byte(oldPayload)); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	ops := countCheckpointOps(t, seed())
+	if ops < 2 {
+		t.Fatalf("checkpoint save uses %d mutating ops; the sweep needs at least a write and a rename", ops)
+	}
+	for _, kind := range []faultinject.FSFaultKind{faultinject.FSCrash, faultinject.FSTornWrite} {
+		for op := 1; op <= ops; op++ {
+			dir := seed()
+			ffs := faultinject.NewFS(nil, faultinject.FSConfig{Seed: int64(op), Kind: kind, Op: op})
+			s, err := store.Open(dir, store.Options{FS: ffs})
+			acked := false
+			if err == nil {
+				acked = s.PutCheckpoint("job", []byte(newPayload)) == nil
+			}
+
+			// "Reboot": reopen with the real filesystem; torn temps are swept.
+			rs, err := store.Open(dir, store.Options{})
+			if err != nil {
+				t.Fatalf("%v@%d: recovery Open failed: %v", kind, op, err)
+			}
+			got, ok, err := rs.ReadCheckpoint("job")
+			if err != nil {
+				t.Fatalf("%v@%d: checkpoint unreadable after crash: %v", kind, op, err)
+			}
+			if !ok {
+				t.Fatalf("%v@%d: pre-existing checkpoint vanished", kind, op)
+			}
+			switch {
+			case acked && string(got) != newPayload:
+				t.Fatalf("%v@%d: acked save lost, read %q", kind, op, got)
+			case string(got) != oldPayload && string(got) != newPayload:
+				t.Fatalf("%v@%d: torn payload read back as valid: %q", kind, op, got)
+			}
+			// And saving must work again after recovery.
+			if err := rs.PutCheckpoint("job", []byte("post-recovery")); err != nil {
+				t.Fatalf("%v@%d: save after recovery: %v", kind, op, err)
+			}
+		}
+	}
+}
+
+// TestCheckpointCorruptionDetected flips one bit in the framed payload on
+// read; the CRC must refuse it rather than hand back corrupt progress.
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCheckpoint("job", []byte("precious training progress")); err != nil {
+		t.Fatal(err)
+	}
+
+	for seed := int64(1); seed <= 5; seed++ {
+		ffs := faultinject.NewFS(nil, faultinject.FSConfig{Seed: seed, Kind: faultinject.FSBitFlip, Op: 1})
+		fs, err := store.Open(dir, store.Options{FS: ffs})
+		if err != nil {
+			// The flip may land in a generation scan; checkpoints are read
+			// lazily so Open itself stays clean in this layout.
+			t.Fatalf("seed %d: Open failed: %v", seed, err)
+		}
+		if _, ok, err := fs.ReadCheckpoint("job"); err == nil && ok {
+			t.Fatalf("seed %d: bit-flipped checkpoint read back as valid", seed)
+		}
+	}
+}

@@ -37,13 +37,31 @@ import (
 //
 //	magic   "QFES"            (4 bytes)
 //	version uint32 LE         (envelopeVersion)
+//	kind    uint32 LE         (payload kind; version >= 2 only)
 //	length  uint64 LE         (payload byte count)
 //	crc32c  uint32 LE         (Castagnoli CRC of the payload)
 //	payload length bytes
+//
+// Version 1 envelopes (written before training checkpoints existed) carry
+// no kind field and are read as PayloadSnapshot, so stores written by older
+// builds keep recovering. The kind keeps the two durable artifact classes —
+// published model snapshots and mid-training checkpoints — from ever being
+// confused for each other, even if a file is renamed by hand: a checkpoint
+// can never be promoted as a generation, and a snapshot can never resume a
+// training run.
 const (
 	envelopeMagic   = "QFES"
-	envelopeVersion = 1
-	headerSize      = 4 + 4 + 8 + 4
+	envelopeVersion = 2
+	headerSize      = 4 + 4 + 4 + 8 + 4
+	headerSizeV1    = 4 + 4 + 8 + 4
+)
+
+// Payload kinds carried in the version-2 envelope header.
+const (
+	// PayloadSnapshot frames a published model snapshot (or its manifest).
+	PayloadSnapshot uint32 = 0
+	// PayloadCheckpoint frames a resumable training checkpoint.
+	PayloadCheckpoint uint32 = 1
 )
 
 const (
@@ -53,6 +71,8 @@ const (
 	genPrefix        = "gen-"
 	tmpPrefix        = "tmp-gen-"
 	quarantinePrefix = "quarantined-gen-"
+	ckptPrefix       = "ckpt-"
+	tmpCkptPrefix    = "tmp-ckpt-"
 
 	// manifestFormat guards MANIFEST.json compatibility.
 	manifestFormat = 1
@@ -150,6 +170,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	var cands []candidate
 	for _, name := range names {
 		switch {
+		case strings.HasPrefix(name, tmpCkptPrefix):
+			// A crash mid-PutCheckpoint left this behind; the committed
+			// checkpoint (if any) is untouched under its ckpt- name.
+			if err := fsys.RemoveAll(filepath.Join(dir, name)); err != nil {
+				return nil, fmt.Errorf("store: sweep %s: %w", name, err)
+			}
+			s.report.TempSwept++
 		case strings.HasPrefix(name, tmpPrefix):
 			// A crash mid-Put left this behind; it never became visible.
 			if err := fsys.RemoveAll(filepath.Join(dir, name)); err != nil {
@@ -410,36 +437,68 @@ func (s *Store) readVerified(dir string, man Manifest) ([]byte, error) {
 	return payload, nil
 }
 
-// frame wraps payload in the checksummed envelope.
-func frame(payload []byte) []byte {
+// frame wraps payload in the checksummed snapshot envelope.
+func frame(payload []byte) []byte { return frameKind(PayloadSnapshot, payload) }
+
+// frameKind wraps payload in a version-2 envelope carrying the given kind.
+func frameKind(kind uint32, payload []byte) []byte {
 	out := make([]byte, headerSize+len(payload))
 	copy(out[0:4], envelopeMagic)
 	binary.LittleEndian.PutUint32(out[4:8], envelopeVersion)
-	binary.LittleEndian.PutUint64(out[8:16], uint64(len(payload)))
-	binary.LittleEndian.PutUint32(out[16:20], crc32.Checksum(payload, crcTable))
+	binary.LittleEndian.PutUint32(out[8:12], kind)
+	binary.LittleEndian.PutUint64(out[12:20], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[20:24], crc32.Checksum(payload, crcTable))
 	copy(out[headerSize:], payload)
 	return out
 }
 
-// unframe validates the envelope and returns the payload and its stored CRC.
+// unframe validates a snapshot envelope and returns the payload and its
+// stored CRC.
 func unframe(raw []byte) ([]byte, uint32, error) {
-	if len(raw) < headerSize {
-		return nil, 0, fmt.Errorf("store: snapshot truncated at %d bytes (header is %d)", len(raw), headerSize)
+	return unframeKind(raw, PayloadSnapshot)
+}
+
+// unframeKind validates the envelope, requires its payload kind to be
+// wantKind, and returns the payload and its stored CRC. Version-1 envelopes
+// carry no kind field and are read as PayloadSnapshot.
+func unframeKind(raw []byte, wantKind uint32) ([]byte, uint32, error) {
+	if len(raw) < headerSizeV1 {
+		return nil, 0, fmt.Errorf("store: envelope truncated at %d bytes (smallest header is %d)", len(raw), headerSizeV1)
 	}
 	if string(raw[0:4]) != envelopeMagic {
-		return nil, 0, fmt.Errorf("store: bad snapshot magic %q", raw[0:4])
+		return nil, 0, fmt.Errorf("store: bad envelope magic %q", raw[0:4])
 	}
-	if v := binary.LittleEndian.Uint32(raw[4:8]); v != envelopeVersion {
-		return nil, 0, fmt.Errorf("store: unsupported envelope version %d (want %d)", v, envelopeVersion)
+	var (
+		kind    uint32
+		length  uint64
+		want    uint32
+		payload []byte
+	)
+	switch v := binary.LittleEndian.Uint32(raw[4:8]); v {
+	case 1:
+		kind = PayloadSnapshot
+		length = binary.LittleEndian.Uint64(raw[8:16])
+		want = binary.LittleEndian.Uint32(raw[16:20])
+		payload = raw[headerSizeV1:]
+	case envelopeVersion:
+		if len(raw) < headerSize {
+			return nil, 0, fmt.Errorf("store: envelope truncated at %d bytes (v2 header is %d)", len(raw), headerSize)
+		}
+		kind = binary.LittleEndian.Uint32(raw[8:12])
+		length = binary.LittleEndian.Uint64(raw[12:20])
+		want = binary.LittleEndian.Uint32(raw[20:24])
+		payload = raw[headerSize:]
+	default:
+		return nil, 0, fmt.Errorf("store: unsupported envelope version %d (want <= %d)", v, envelopeVersion)
 	}
-	length := binary.LittleEndian.Uint64(raw[8:16])
-	if length != uint64(len(raw)-headerSize) {
-		return nil, 0, fmt.Errorf("store: envelope declares %d payload bytes, file carries %d", length, len(raw)-headerSize)
+	if kind != wantKind {
+		return nil, 0, fmt.Errorf("store: envelope carries payload kind %d, want %d", kind, wantKind)
 	}
-	want := binary.LittleEndian.Uint32(raw[16:20])
-	payload := raw[headerSize:]
+	if length != uint64(len(payload)) {
+		return nil, 0, fmt.Errorf("store: envelope declares %d payload bytes, file carries %d", length, len(payload))
+	}
 	if got := crc32.Checksum(payload, crcTable); got != want {
-		return nil, 0, fmt.Errorf("store: snapshot checksum mismatch (stored %08x, computed %08x)", want, got)
+		return nil, 0, fmt.Errorf("store: envelope checksum mismatch (stored %08x, computed %08x)", want, got)
 	}
 	return payload, want, nil
 }

@@ -1,0 +1,179 @@
+package trainer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"qfe/internal/drift"
+	"qfe/internal/serve"
+)
+
+// ControllerConfig assembles a Controller.
+type ControllerConfig struct {
+	// Supervisor runs the retraining jobs. Required.
+	Supervisor *Supervisor
+	// Retrainer is the pipeline a drift event triggers. Required.
+	Retrainer *Retrainer
+	// Monitor, when non-nil, is reset after a successful publish and rearmed
+	// (threshold widened by RearmFactor) after a canary rejection, so a
+	// workload the retrained model genuinely cannot fit stops ringing the
+	// same alarm forever.
+	Monitor *drift.Monitor
+	// Cooldown suppresses new retrains for this long after one starts;
+	// alarms often arrive in bursts. Default 1m.
+	Cooldown time.Duration
+	// RearmFactor widens the q-error drift threshold after a canary
+	// rejection. Default 2.
+	RearmFactor float64
+	// JobName names the supervised job. Default "retrain".
+	JobName string
+
+	// Backoff, MaxBackoff, MaxFailures and Deadline pass through to the
+	// JobSpec; zero values take the supervisor defaults.
+	Backoff     time.Duration
+	MaxBackoff  time.Duration
+	MaxFailures int
+	Deadline    time.Duration
+}
+
+func (c *ControllerConfig) withDefaults() error {
+	switch {
+	case c.Supervisor == nil:
+		return fmt.Errorf("trainer: ControllerConfig.Supervisor is required")
+	case c.Retrainer == nil:
+		return fmt.Errorf("trainer: ControllerConfig.Retrainer is required")
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Minute
+	}
+	if c.RearmFactor <= 1 {
+		c.RearmFactor = 2
+	}
+	if c.JobName == "" {
+		c.JobName = "retrain"
+	}
+	return nil
+}
+
+// Controller is the glue between drift detection and retraining: its
+// HandleEvent is the drift monitor's OnEvent callback. Each alarm, modulo a
+// cooldown and the one-active-job-per-name rule, submits a supervised
+// retraining run whose only road to traffic is the lifecycle canary gate.
+type Controller struct {
+	cfg ControllerConfig
+
+	mu        sync.Mutex
+	lastStart time.Time
+	counters  controllerCounters
+}
+
+type controllerCounters struct {
+	eventsSeen        uint64
+	eventsSuppressed  uint64
+	retrainsStarted   uint64
+	retrainsSucceeded uint64
+	canaryRejected    uint64
+	retrainsFailed    uint64
+}
+
+// NewController validates cfg and returns a Controller.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// HandleEvent reacts to one drift alarm. It is fast and non-blocking — safe
+// to call synchronously from the monitor's observing goroutine — and
+// reports whether a retraining job was actually started.
+func (c *Controller) HandleEvent(ev drift.Event) bool {
+	c.mu.Lock()
+	c.counters.eventsSeen++
+	if !c.lastStart.IsZero() && time.Since(c.lastStart) < c.cfg.Cooldown {
+		c.counters.eventsSuppressed++
+		c.mu.Unlock()
+		return false
+	}
+	c.mu.Unlock()
+
+	err := c.cfg.Supervisor.Submit(JobSpec{
+		Name:        c.cfg.JobName,
+		Run:         c.runRetrain,
+		Backoff:     c.cfg.Backoff,
+		MaxBackoff:  c.cfg.MaxBackoff,
+		MaxFailures: c.cfg.MaxFailures,
+		Deadline:    c.cfg.Deadline,
+	})
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		// A still-active job already covers this alarm; anything else
+		// (supervisor closed) there is no one left to tell.
+		c.counters.eventsSuppressed++
+		return false
+	}
+	c.counters.retrainsStarted++
+	c.lastStart = time.Now()
+	return true
+}
+
+// runRetrain is one supervised attempt: retrain, publish through the
+// canary, and translate the outcome into restart semantics. A canary
+// rejection is Permanent — retrying would deterministically rebuild the
+// same rejected model — and rearms the drift monitor with a widened
+// threshold instead.
+func (c *Controller) runRetrain(ctx context.Context) error {
+	_, err := c.cfg.Retrainer.Run(ctx)
+	switch {
+	case err == nil:
+		c.mu.Lock()
+		c.counters.retrainsSucceeded++
+		c.mu.Unlock()
+		if c.cfg.Monitor != nil {
+			c.cfg.Monitor.Reset()
+		}
+		return nil
+	case errors.Is(err, serve.ErrCanaryRejected):
+		c.mu.Lock()
+		c.counters.canaryRejected++
+		c.mu.Unlock()
+		if c.cfg.Monitor != nil {
+			c.cfg.Monitor.Rearm(c.cfg.RearmFactor)
+		}
+		return Permanent(err)
+	default:
+		c.mu.Lock()
+		c.counters.retrainsFailed++
+		c.mu.Unlock()
+		return err
+	}
+}
+
+// Counters returns the controller's cumulative counters in a flat,
+// /metrics friendly form.
+func (c *Controller) Counters() map[string]any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return map[string]any{
+		"retrain_events_seen":       c.counters.eventsSeen,
+		"retrain_events_suppressed": c.counters.eventsSuppressed,
+		"retrain_started":           c.counters.retrainsStarted,
+		"retrain_succeeded":         c.counters.retrainsSucceeded,
+		"retrain_canary_rejected":   c.counters.canaryRejected,
+		"retrain_failed":            c.counters.retrainsFailed,
+	}
+}
+
+// Status reports counters plus the supervisor's job table, the retraining
+// half of the /v1/drift payload.
+func (c *Controller) Status() map[string]any {
+	return map[string]any{
+		"counters": c.Counters(),
+		"jobs":     c.cfg.Supervisor.Status(),
+	}
+}

@@ -1,0 +1,327 @@
+package trainer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// JobFunc is one attempt of a supervised job. It must honor ctx: the
+// supervisor cancels it on Close and bounds it with the per-attempt
+// deadline. Returning nil completes the job; returning an error schedules a
+// backoff restart unless the error is Permanent or the supervisor is
+// closing.
+type JobFunc func(ctx context.Context) error
+
+// Permanent wraps err so the supervisor treats it as terminal: the job
+// moves to JobFailed without restarts. Use it for failures a retry cannot
+// fix — a canary-rejected model, malformed configuration.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return "permanent: " + e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// IsPermanent reports whether err (or anything it wraps) came from
+// Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// JobState is where a job sits in the supervisor's state machine:
+//
+//	Submit → running → done                      (attempt returned nil)
+//	              ↘ → backoff → running → …      (transient failure)
+//	              ↘ → failed                     (Permanent error)
+//	              ↘ → quarantined                (MaxFailures consecutive failures)
+//	              ↘ → canceled                   (supervisor closed)
+type JobState string
+
+const (
+	// JobRunning means an attempt is executing.
+	JobRunning JobState = "running"
+	// JobBackoff means the last attempt failed and the next is scheduled.
+	JobBackoff JobState = "backoff"
+	// JobDone means an attempt returned nil; terminal.
+	JobDone JobState = "done"
+	// JobFailed means an attempt returned a Permanent error; terminal.
+	JobFailed JobState = "failed"
+	// JobQuarantined means MaxFailures consecutive attempts failed — the
+	// poison-pill brake that stops a crashing job from looping forever;
+	// terminal.
+	JobQuarantined JobState = "quarantined"
+	// JobCanceled means the supervisor closed mid-job; terminal.
+	JobCanceled JobState = "canceled"
+)
+
+// terminal reports whether a state accepts no further transitions.
+func (s JobState) terminal() bool {
+	switch s {
+	case JobDone, JobFailed, JobQuarantined, JobCanceled:
+		return true
+	}
+	return false
+}
+
+// JobSpec configures one supervised job.
+type JobSpec struct {
+	// Name identifies the job; one active job per name.
+	Name string
+	// Run is one attempt. Required.
+	Run JobFunc
+	// Backoff is the delay before the first restart; it doubles per
+	// consecutive failure. Default 500ms.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling. Default 30s.
+	MaxBackoff time.Duration
+	// MaxFailures quarantines the job after this many consecutive failed
+	// attempts. Default 5.
+	MaxFailures int
+	// Deadline bounds each attempt; 0 means no per-attempt deadline. A
+	// timed-out attempt counts as a failure.
+	Deadline time.Duration
+	// OnTerminal, when non-nil, is called exactly once as the job reaches a
+	// terminal state, with the final state and last error (nil for JobDone).
+	OnTerminal func(state JobState, err error)
+}
+
+func (s *JobSpec) withDefaults() error {
+	if s.Name == "" {
+		return fmt.Errorf("trainer: job needs a name")
+	}
+	if s.Run == nil {
+		return fmt.Errorf("trainer: job %q has no Run function", s.Name)
+	}
+	if s.Backoff <= 0 {
+		s.Backoff = 500 * time.Millisecond
+	}
+	if s.MaxBackoff <= 0 {
+		s.MaxBackoff = 30 * time.Second
+	}
+	if s.MaxBackoff < s.Backoff {
+		s.MaxBackoff = s.Backoff
+	}
+	if s.MaxFailures <= 0 {
+		s.MaxFailures = 5
+	}
+	return nil
+}
+
+// JobStatus is a point-in-time snapshot of one job.
+type JobStatus struct {
+	Name      string    `json:"name"`
+	State     JobState  `json:"state"`
+	Attempts  int       `json:"attempts"`
+	Failures  int       `json:"failures"` // consecutive, reset by a nil attempt
+	LastError string    `json:"lastError,omitempty"`
+	UpdatedAt time.Time `json:"updatedAt"`
+}
+
+type job struct {
+	spec   JobSpec
+	doneCh chan struct{}
+
+	mu     sync.Mutex
+	status JobStatus
+}
+
+func (j *job) update(mut func(st *JobStatus)) {
+	j.mu.Lock()
+	mut(&j.status)
+	j.status.UpdatedAt = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// ErrJobActive rejects a Submit whose name already has a live job.
+var ErrJobActive = errors.New("trainer: a job with this name is still active")
+
+// ErrSupervisorClosed rejects Submits after Close.
+var ErrSupervisorClosed = errors.New("trainer: supervisor is closed")
+
+// Supervisor runs jobs with crash-style restart semantics: exponential
+// backoff between attempts, quarantine after repeated failure, cancellation
+// of everything on Close. Safe for concurrent use.
+type Supervisor struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	closed bool
+}
+
+// NewSupervisor returns a running supervisor. Call Close to stop it and
+// wait for its jobs.
+func NewSupervisor() *Supervisor {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Supervisor{ctx: ctx, cancel: cancel, jobs: make(map[string]*job)}
+}
+
+// Submit starts spec under supervision. A name whose previous job reached a
+// terminal state may be reused; an active name returns ErrJobActive.
+func (s *Supervisor) Submit(spec JobSpec) error {
+	if err := spec.withDefaults(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSupervisorClosed
+	}
+	if prev, ok := s.jobs[spec.Name]; ok && !prev.snapshot().State.terminal() {
+		return fmt.Errorf("%w: %q", ErrJobActive, spec.Name)
+	}
+	j := &job{
+		spec:   spec,
+		doneCh: make(chan struct{}),
+		status: JobStatus{Name: spec.Name, State: JobRunning, UpdatedAt: time.Now()},
+	}
+	s.jobs[spec.Name] = j
+	s.wg.Add(1)
+	go s.runJob(j)
+	return nil
+}
+
+// runJob drives one job through the state machine until terminal.
+func (s *Supervisor) runJob(j *job) {
+	defer s.wg.Done()
+	defer close(j.doneCh)
+
+	finish := func(state JobState, err error) {
+		j.update(func(st *JobStatus) {
+			st.State = state
+			if err != nil {
+				st.LastError = err.Error()
+			}
+		})
+		if j.spec.OnTerminal != nil {
+			j.spec.OnTerminal(state, err)
+		}
+	}
+
+	backoff := j.spec.Backoff
+	for {
+		j.update(func(st *JobStatus) { st.State = JobRunning; st.Attempts++ })
+		err := s.attempt(j)
+		switch {
+		case err == nil:
+			finish(JobDone, nil)
+			return
+		case s.ctx.Err() != nil:
+			// The supervisor is closing; the attempt's error is cancellation
+			// fallout, not a verdict on the job.
+			finish(JobCanceled, err)
+			return
+		case IsPermanent(err):
+			finish(JobFailed, err)
+			return
+		}
+
+		failures := 0
+		j.update(func(st *JobStatus) {
+			st.Failures++
+			st.State = JobBackoff
+			st.LastError = err.Error()
+			failures = st.Failures
+		})
+		if failures >= j.spec.MaxFailures {
+			finish(JobQuarantined, err)
+			return
+		}
+
+		t := time.NewTimer(backoff)
+		select {
+		case <-s.ctx.Done():
+			t.Stop()
+			finish(JobCanceled, err)
+			return
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > j.spec.MaxBackoff {
+			backoff = j.spec.MaxBackoff
+		}
+	}
+}
+
+// attempt runs one attempt under the per-attempt deadline, converting a
+// panic into an error so a crashing job trips the poison-pill counter
+// instead of killing the process.
+func (s *Supervisor) attempt(j *job) (err error) {
+	ctx := s.ctx
+	if j.spec.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.spec.Deadline)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("trainer: job %q panicked: %v", j.spec.Name, r)
+		}
+	}()
+	return j.spec.Run(ctx)
+}
+
+// Job returns the named job's status.
+func (s *Supervisor) Job(name string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[name]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Done returns a channel closed when the named job reaches a terminal
+// state; a nil channel (never ready) for unknown names.
+func (s *Supervisor) Done(name string) <-chan struct{} {
+	s.mu.Lock()
+	j, ok := s.jobs[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return j.doneCh
+}
+
+// Status snapshots every job, sorted by name.
+func (s *Supervisor) Status() []JobStatus {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// Close cancels every running job and waits for them to finish. Idempotent.
+func (s *Supervisor) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}

@@ -1,0 +1,210 @@
+package trainer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qfe/internal/testutil"
+)
+
+// waitDone blocks until the named job is terminal (with a test deadline).
+func waitDone(t *testing.T, s *Supervisor, name string) JobStatus {
+	t.Helper()
+	select {
+	case <-s.Done(name):
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %q did not reach a terminal state", name)
+	}
+	st, ok := s.Job(name)
+	if !ok {
+		t.Fatalf("job %q vanished", name)
+	}
+	return st
+}
+
+func fastSpec(name string, run JobFunc) JobSpec {
+	return JobSpec{Name: name, Run: run, Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
+}
+
+func TestSupervisorRunsJobToDone(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	s := NewSupervisor()
+	defer s.Close()
+
+	var term atomic.Int32
+	spec := fastSpec("ok", func(context.Context) error { return nil })
+	spec.OnTerminal = func(state JobState, err error) {
+		term.Add(1)
+		if state != JobDone || err != nil {
+			t.Errorf("OnTerminal(%v, %v), want (done, nil)", state, err)
+		}
+	}
+	if err := s.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, s, "ok")
+	if st.State != JobDone || st.Attempts != 1 || st.Failures != 0 {
+		t.Errorf("status = %+v, want done after 1 attempt", st)
+	}
+	if term.Load() != 1 {
+		t.Errorf("OnTerminal ran %d times, want exactly once", term.Load())
+	}
+}
+
+func TestSupervisorRetriesTransientFailures(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	s := NewSupervisor()
+	defer s.Close()
+
+	var attempts atomic.Int32
+	if err := s.Submit(fastSpec("flaky", func(context.Context) error {
+		if attempts.Add(1) < 3 {
+			return fmt.Errorf("transient")
+		}
+		return nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, s, "flaky")
+	if st.State != JobDone {
+		t.Fatalf("state = %v (%s), want done", st.State, st.LastError)
+	}
+	if st.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", st.Attempts)
+	}
+}
+
+func TestSupervisorPermanentFailureStopsRetries(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	s := NewSupervisor()
+	defer s.Close()
+
+	var attempts atomic.Int32
+	boom := errors.New("canary said no")
+	if err := s.Submit(fastSpec("doomed", func(context.Context) error {
+		attempts.Add(1)
+		return Permanent(boom)
+	})); err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, s, "doomed")
+	if st.State != JobFailed {
+		t.Fatalf("state = %v, want failed", st.State)
+	}
+	if attempts.Load() != 1 {
+		t.Errorf("attempts = %d, want 1 (Permanent must not retry)", attempts.Load())
+	}
+}
+
+func TestSupervisorQuarantinesPoisonPill(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	s := NewSupervisor()
+	defer s.Close()
+
+	var attempts atomic.Int32
+	spec := fastSpec("poison", func(context.Context) error {
+		attempts.Add(1)
+		panic("boom") // panics count as failures, not process death
+	})
+	spec.MaxFailures = 3
+	if err := s.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, s, "poison")
+	if st.State != JobQuarantined {
+		t.Fatalf("state = %v, want quarantined", st.State)
+	}
+	if attempts.Load() != 3 {
+		t.Errorf("attempts = %d, want 3 (MaxFailures)", attempts.Load())
+	}
+}
+
+func TestSupervisorDeadlineBoundsAttempts(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	s := NewSupervisor()
+	defer s.Close()
+
+	spec := fastSpec("slow", func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	spec.Deadline = 5 * time.Millisecond
+	spec.MaxFailures = 2
+	if err := s.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, s, "slow")
+	if st.State != JobQuarantined {
+		t.Fatalf("state = %v, want quarantined (deadline blowups are failures)", st.State)
+	}
+}
+
+func TestSupervisorCloseCancelsRunningJobs(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	s := NewSupervisor()
+
+	started := make(chan struct{})
+	if err := s.Submit(fastSpec("longrun", func(ctx context.Context) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	})); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	s.Close()
+	st, _ := s.Job("longrun")
+	if st.State != JobCanceled {
+		t.Errorf("state after Close = %v, want canceled", st.State)
+	}
+	if err := s.Submit(fastSpec("late", func(context.Context) error { return nil })); !errors.Is(err, ErrSupervisorClosed) {
+		t.Errorf("Submit after Close = %v, want ErrSupervisorClosed", err)
+	}
+}
+
+func TestSupervisorNameReuse(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	s := NewSupervisor()
+	defer s.Close()
+
+	block := make(chan struct{})
+	if err := s.Submit(fastSpec("job", func(context.Context) error { <-block; return nil })); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(fastSpec("job", func(context.Context) error { return nil })); !errors.Is(err, ErrJobActive) {
+		t.Fatalf("duplicate Submit = %v, want ErrJobActive", err)
+	}
+	close(block)
+	waitDone(t, s, "job")
+	if err := s.Submit(fastSpec("job", func(context.Context) error { return nil })); err != nil {
+		t.Fatalf("Submit after terminal state = %v, want reuse to work", err)
+	}
+	waitDone(t, s, "job")
+
+	if n := len(s.Status()); n != 1 {
+		t.Errorf("Status lists %d jobs, want 1 (latest generation per name)", n)
+	}
+}
+
+func TestPermanentWrapping(t *testing.T) {
+	base := errors.New("base")
+	if !IsPermanent(Permanent(base)) {
+		t.Error("IsPermanent(Permanent(err)) = false")
+	}
+	if IsPermanent(base) {
+		t.Error("IsPermanent(plain error) = true")
+	}
+	if !errors.Is(Permanent(base), base) {
+		t.Error("Permanent must unwrap to the base error")
+	}
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+	if IsPermanent(fmt.Errorf("wrapped: %w", Permanent(base))) != true {
+		t.Error("IsPermanent must see through wrapping")
+	}
+}
