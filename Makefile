@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check ci serve-smoke fmt fuzz fuzz-serve fuzz-store soak bench chaos-train lint
+.PHONY: build test vet race check ci serve-smoke fmt fuzz fuzz-serve fuzz-store soak bench bench-cache chaos-train lint
 
 build:
 	$(GO) build ./...
@@ -58,10 +58,17 @@ serve-smoke:
 	$(GO) run ./cmd/cardestd -smoke -rows 2000 -train 800 -entries 16
 
 # bench compares the sequential and parallel hot paths (labeling, GB
-# training, NN training) and writes BENCH_parallel.json. All three paths are
-# bit-identical across worker counts; the report is wall-clock only.
+# training, NN training) and writes BENCH_parallel.json, then runs the
+# serving-cache replay and writes BENCH_serve_cache.json. All three parallel
+# paths are bit-identical across worker counts; the report is wall-clock only.
 bench:
-	$(GO) run ./cmd/parbench -out BENCH_parallel.json
+	$(GO) run ./cmd/parbench -out BENCH_parallel.json -cache-out BENCH_serve_cache.json
+
+# bench-cache replays a repeated workload through the HTTP estimate handler
+# three ways — cache off, cold cache, warm cache — and writes the throughput
+# comparison (cold vs. warm vs. off) to BENCH_serve_cache.json.
+bench-cache:
+	$(GO) run ./cmd/parbench -cache-only -cache-out BENCH_serve_cache.json
 
 fmt:
 	gofmt -l -w .

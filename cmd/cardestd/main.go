@@ -10,6 +10,7 @@
 //	         [-entries 32] [-seed 1] [-workers 0] [-save file]
 //	         [-timeout 100ms] [-fallback] [-max-batch 16] [-batch-delay 2ms]
 //	         [-max-inflight 64] [-drain-timeout 10s] [-smoke]
+//	         [-cache-entries 4096] [-cache-off]
 //	         [-store dir] [-canary 200] [-canary-median 10] [-canary-p95 100]
 //	         [-probe-interval 30s] [-model-root dir]
 //	         [-retrain] [-retrain-cooldown 1m] [-drift-delta 0.05]
@@ -52,6 +53,16 @@
 // retried (its detector rearms with a widened threshold instead).
 // GET /v1/drift reports detector state, recent alarms, and the retraining
 // job table; /metrics grows drift_* and retrain_* counters.
+//
+// The daemon memoizes estimates in a generation-scoped semantic cache
+// (-cache-entries, default 4096; -cache-off disables): requests are keyed
+// on the live model's registry generation plus a canonical fingerprint of
+// their predicate set, so syntactic variants the featurization treats as
+// equivalent share one cached estimate, concurrent identical queries
+// collapse into a single model inference, and every publish or rollback
+// invalidates the cache implicitly by changing the generation. While a
+// drift alarm is active (-retrain) the cache is bypassed. /metrics reports
+// cache_hits, cache_misses, cache_evictions, and cache_collapsed.
 //
 // -timeout and -fallback arm the resilience chain around every registered
 // model, exactly as in cardest: a deadline-bound learned stage degrading
@@ -110,6 +121,9 @@ type options struct {
 	drainTO    time.Duration
 	smoke      bool
 
+	cacheEntries int
+	cacheOff     bool
+
 	storeDir     string
 	canaryN      int
 	canaryMedian float64
@@ -146,6 +160,8 @@ func main() {
 	flag.IntVar(&o.maxInFly, "max-inflight", 64, "concurrent estimate requests admitted before shedding with 429")
 	flag.DurationVar(&o.drainTO, "drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM")
 	flag.BoolVar(&o.smoke, "smoke", false, "run the self-test (random port, batched estimate, metrics scrape) and exit")
+	flag.IntVar(&o.cacheEntries, "cache-entries", 4096, "generation-scoped estimate cache capacity (semantic fingerprint keys)")
+	flag.BoolVar(&o.cacheOff, "cache-off", false, "disable the estimate cache (every request pays full featurize+inference)")
 	flag.StringVar(&o.storeDir, "store", "", "crash-safe model store directory (enables canary-gated publishes, recovery, and rollback)")
 	flag.IntVar(&o.canaryN, "canary", 200, "held-out labeled queries for the canary gate (0 disables the gate)")
 	flag.Float64Var(&o.canaryMedian, "canary-median", 10, "canary ceiling on median q-error")
@@ -347,6 +363,16 @@ func run(o options, out io.Writer) error {
 			o.driftLambda, o.driftWindow, o.retrainCooldown)
 	}
 
+	cacheEntries := o.cacheEntries
+	if o.cacheOff {
+		cacheEntries = 0
+	}
+	if cacheEntries > 0 {
+		fmt.Fprintf(out, "estimate cache: %d entries, keyed on (generation, query fingerprint)\n", cacheEntries)
+	} else {
+		fmt.Fprintln(out, "estimate cache: off")
+	}
+
 	cfg := serve.Config{
 		Registry:       reg,
 		DB:             env.DB,
@@ -355,8 +381,12 @@ func run(o options, out io.Writer) error {
 		DefaultTimeout: o.timeout,
 		ModelRoot:      modelRoot,
 		Lifecycle:      lc,
+		Cache:          serve.CacheConfig{Entries: cacheEntries},
 	}
 	if mon != nil {
+		// While a drift alarm is pending, serving a memoized estimate would
+		// hide exactly the staleness the detectors just flagged.
+		cfg.CacheBypass = mon.AlarmActive
 		cfg.Feedback = mon.ObserveFeedback
 		cfg.ExtraMetrics = func() map[string]any {
 			extra := mon.Counters()
@@ -383,7 +413,7 @@ func run(o options, out io.Writer) error {
 	}
 
 	if o.smoke {
-		return smoke(srv, out)
+		return smoke(srv, cacheEntries > 0, out)
 	}
 	return listenAndServe(srv, o, out)
 }
@@ -443,7 +473,7 @@ func listenAndServe(srv *serve.Server, o options, out io.Writer) error {
 // smoke is the self-test behind `make serve-smoke`: serve on a random
 // port, exercise the API end to end, verify the metrics reflect the load,
 // and shut down cleanly.
-func smoke(srv *serve.Server, out io.Writer) error {
+func smoke(srv *serve.Server, cacheOn bool, out io.Writer) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -506,6 +536,14 @@ func smoke(srv *serve.Server, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "smoke: batched estimate returned %d results\n", len(results))
 
+	// The same query again: with the cache on (the default) this second
+	// request must be answered from the generation-scoped cache.
+	if _, err := post("/v1/estimate", map[string]any{
+		"sql": "SELECT count(*) FROM forest WHERE A1 >= 3 AND A2 <= 7",
+	}); err != nil {
+		return err
+	}
+
 	models, err := get("/v1/models")
 	if err != nil {
 		return err
@@ -522,6 +560,13 @@ func smoke(srv *serve.Server, out io.Writer) error {
 		return fmt.Errorf("smoke: metrics report %v requests / %v queries, want >= 2 / >= 4", reqs, qs)
 	}
 	fmt.Fprintf(out, "smoke: metrics ok (%v requests, %v queries)\n", reqs, qs)
+	if cacheOn {
+		hits, _ := m["cache_hits"].(float64)
+		if hits < 1 {
+			return fmt.Errorf("smoke: repeated estimate produced %v cache hits, want >= 1", hits)
+		}
+		fmt.Fprintf(out, "smoke: estimate cache ok (%v hits)\n", hits)
+	}
 
 	srv.Drain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

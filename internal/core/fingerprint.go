@@ -1,0 +1,174 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qfe/internal/sqlparse"
+)
+
+// This file defines the canonical query fingerprint: a collision-resistant
+// key for the *featurization equivalence class* of a query. The QFTs in
+// this package deliberately map many syntactically different predicate
+// combinations onto the same feature vector — predicate order is
+// irrelevant (Algorithm 1 intersects per-attribute qualifying sets),
+// duplicate predicates are absorbed, and over the integer domains of
+// Section 3 the open and closed comparison forms ("a > 5" vs. "a >= 6")
+// qualify identical value sets. Two queries with the same fingerprint are
+// therefore featurized identically by every QFT here and must receive the
+// same estimate from the same model; the serving layer exploits exactly
+// that to cache estimates across syntactic variants.
+//
+// Every rewrite applied below is an exact semantic equivalence, never a
+// heuristic: sorting and deduplicating AND/OR children (commutativity,
+// idempotence), normalizing strict integer comparisons to their closed
+// forms, ordering the sides of an equi-join, and sorting table / GROUP BY
+// lists. Distinct fingerprints may still denote equivalent queries (the
+// relation is sound, not complete) — that costs a cache miss, never a
+// wrong answer.
+
+// Fingerprint returns a fixed-length, collision-resistant key for q's
+// featurization equivalence class: the hex-encoded SHA-256 of
+// CanonicalQuery(q). Queries that differ only in predicate order,
+// duplicated conjuncts/disjuncts, strict-vs-closed integer comparisons,
+// equi-join side order, or FROM / GROUP BY list order collide on purpose.
+func Fingerprint(q *sqlparse.Query) string {
+	sum := sha256.Sum256([]byte(CanonicalQuery(q)))
+	return hex.EncodeToString(sum[:])
+}
+
+// CanonicalQuery renders q in a canonical textual form: two queries render
+// identically iff Fingerprint treats them as equivalent. Exposed for tests
+// and debugging; the serving cache keys on the hash.
+func CanonicalQuery(q *sqlparse.Query) string {
+	var b strings.Builder
+	b.WriteString("T:")
+	// Table order is irrelevant to COUNT(*) semantics and to the join
+	// featurizations (table bit-vectors, sorted sub-schema keys), but
+	// duplicates are self-joins and must survive — sort, don't dedupe.
+	tables := append([]string(nil), q.Tables...)
+	sort.Strings(tables)
+	b.WriteString(strings.Join(tables, "\x01"))
+
+	b.WriteString("|J:")
+	joins := make([]string, 0, len(q.Joins))
+	for _, j := range q.Joins {
+		joins = append(joins, canonJoin(j))
+	}
+	sort.Strings(joins)
+	b.WriteString(strings.Join(dedupeSorted(joins), "\x01"))
+
+	b.WriteString("|W:")
+	b.WriteString(canonExpr(q.Where))
+
+	b.WriteString("|G:")
+	groups := append([]string(nil), q.GroupBy...)
+	sort.Strings(groups)
+	b.WriteString(strings.Join(dedupeSorted(groups), "\x01"))
+	return b.String()
+}
+
+// canonJoin renders an equi-join with its sides in lexicographic order:
+// "a.x = b.y" and "b.y = a.x" are the same predicate.
+func canonJoin(j sqlparse.JoinPred) string {
+	l := j.LeftTable + "." + j.LeftCol
+	r := j.RightTable + "." + j.RightCol
+	if r < l {
+		l, r = r, l
+	}
+	return l + "=" + r
+}
+
+// canonExpr renders a selection expression canonically: AND/OR children are
+// flattened, individually canonicalized, sorted, and deduplicated
+// (commutativity + idempotence); a single surviving child elides its
+// wrapper. A nil expression renders empty.
+func canonExpr(e sqlparse.Expr) string {
+	switch n := e.(type) {
+	case nil:
+		return ""
+	case *sqlparse.Pred:
+		return canonPred(n)
+	case *sqlparse.And:
+		return canonNary("&", n.Kids, isAndNode)
+	case *sqlparse.Or:
+		return canonNary("|", n.Kids, isOrNode)
+	}
+	panic("core: unknown expression type in fingerprint")
+}
+
+func isAndNode(e sqlparse.Expr) []sqlparse.Expr {
+	if a, ok := e.(*sqlparse.And); ok {
+		return a.Kids
+	}
+	return nil
+}
+
+func isOrNode(e sqlparse.Expr) []sqlparse.Expr {
+	if o, ok := e.(*sqlparse.Or); ok {
+		return o.Kids
+	}
+	return nil
+}
+
+// canonNary canonicalizes one n-ary AND/OR level: same-operator children
+// are flattened in (associativity), every child is rendered, and the
+// rendered set is sorted and deduplicated.
+func canonNary(op string, kids []sqlparse.Expr, sameOp func(sqlparse.Expr) []sqlparse.Expr) string {
+	parts := make([]string, 0, len(kids))
+	var add func(es []sqlparse.Expr)
+	add = func(es []sqlparse.Expr) {
+		for _, k := range es {
+			if inner := sameOp(k); inner != nil {
+				add(inner)
+				continue
+			}
+			parts = append(parts, canonExpr(k))
+		}
+	}
+	add(kids)
+	sort.Strings(parts)
+	parts = dedupeSorted(parts)
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return "(" + op + "\x01" + strings.Join(parts, "\x01") + ")"
+}
+
+// canonPred renders one simple predicate. Over the integer domains the
+// paper's QFTs assume, the strict comparisons qualify the same value sets
+// as their closed neighbors, so "a > v" normalizes to "a >= v+1" and
+// "a < v" to "a <= v-1" (guarding int64 overflow, where the strict form is
+// kept verbatim). String literals are quoted with full escaping so hostile
+// literal bytes cannot forge the canonical form of a different predicate.
+func canonPred(p *sqlparse.Pred) string {
+	if p.Like {
+		return p.Attr + "\x00like\x00" + strconv.Quote(*p.Str)
+	}
+	if p.Str != nil {
+		return p.Attr + "\x00" + p.Op.String() + "\x00" + strconv.Quote(*p.Str)
+	}
+	op, val := p.Op, p.Val
+	switch {
+	case op == sqlparse.OpGt && val < math.MaxInt64:
+		op, val = sqlparse.OpGe, val+1
+	case op == sqlparse.OpLt && val > math.MinInt64:
+		op, val = sqlparse.OpLe, val-1
+	}
+	return p.Attr + "\x00" + op.String() + "\x00" + strconv.FormatInt(val, 10)
+}
+
+// dedupeSorted removes adjacent duplicates from a sorted slice in place.
+func dedupeSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

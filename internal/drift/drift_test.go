@@ -205,3 +205,57 @@ func TestMonitorForwardsAlarmsAndCounts(t *testing.T) {
 	mon.Rearm(2)
 	mon.Reset()
 }
+
+// TestMonitorAlarmActive: the cache-bypass signal latches on the first
+// alarm and clears on Reset/Rearm — the lifetime the serving layer's
+// CacheBypass hook depends on.
+func TestMonitorAlarmActive(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	mon, err := NewMonitor(testDB(t), MonitorConfig{
+		QError: QErrorConfig{Delta: 0.05, Lambda: 2, MinSamples: 5, MaxLogQ: 20},
+		Domain: DomainConfig{Window: 10, MaxOODFraction: 0.5, MinSamples: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.AlarmActive() {
+		t.Fatal("fresh monitor reports an active alarm")
+	}
+
+	q := parse(t, "SELECT count(*) FROM t WHERE a >= 2")
+	for i := 0; i < 6; i++ {
+		mon.ObserveFeedback(q, 100, 100)
+	}
+	for i := 0; i < 10 && !mon.AlarmActive(); i++ {
+		mon.ObserveFeedback(q, 1, 1e6)
+	}
+	if !mon.AlarmActive() {
+		t.Fatal("sustained drift never raised AlarmActive")
+	}
+	if v := mon.Counters()["drift_alarm_active"]; v != true {
+		t.Errorf("drift_alarm_active counter = %v, want true", v)
+	}
+	if v := mon.Status()["alarmActive"]; v != true {
+		t.Errorf("Status alarmActive = %v, want true", v)
+	}
+
+	mon.Reset()
+	if mon.AlarmActive() {
+		t.Fatal("Reset did not clear the active alarm")
+	}
+
+	// Re-alarm, then Rearm (the rejected-retrain path) must clear it too.
+	for i := 0; i < 6; i++ {
+		mon.ObserveFeedback(q, 100, 100)
+	}
+	for i := 0; i < 10 && !mon.AlarmActive(); i++ {
+		mon.ObserveFeedback(q, 1, 1e6)
+	}
+	if !mon.AlarmActive() {
+		t.Fatal("monitor did not re-alarm after Reset")
+	}
+	mon.Rearm(2)
+	if mon.AlarmActive() {
+		t.Fatal("Rearm did not clear the active alarm")
+	}
+}

@@ -34,6 +34,12 @@ type Monitor struct {
 	recent   []Event
 	observed uint64
 	alarms   map[Kind]uint64
+	// alarmed is true from the first alarm until the detectors are restored
+	// (Reset after a successful retrain publish, or Rearm after a rejected
+	// one). The serving layer polls it to bypass its estimate cache while
+	// drift is suspected — a stale cached estimate during drift is worse
+	// than recomputation.
+	alarmed bool
 }
 
 // NewMonitor builds a monitor whose domain detector is trained on db's
@@ -81,6 +87,7 @@ func (m *Monitor) ObserveFeedback(q *sqlparse.Query, est, actual float64) {
 func (m *Monitor) record(ev Event) {
 	m.mu.Lock()
 	m.alarms[ev.Kind]++
+	m.alarmed = true
 	m.recent = append(m.recent, ev)
 	if len(m.recent) > maxRecentEvents {
 		m.recent = m.recent[len(m.recent)-maxRecentEvents:]
@@ -97,6 +104,7 @@ func (m *Monitor) record(ev Event) {
 func (m *Monitor) Reset() {
 	m.qerr.Reset()
 	m.dom.Reset()
+	m.clearAlarm()
 }
 
 // Rearm resets both detectors but widens the q-error threshold by factor;
@@ -104,6 +112,22 @@ func (m *Monitor) Reset() {
 func (m *Monitor) Rearm(factor float64) {
 	m.qerr.Rearm(factor)
 	m.dom.Reset()
+	m.clearAlarm()
+}
+
+func (m *Monitor) clearAlarm() {
+	m.mu.Lock()
+	m.alarmed = false
+	m.mu.Unlock()
+}
+
+// AlarmActive reports whether any detector has alarmed since the last
+// Reset/Rearm. Wire it into serve.Config.CacheBypass so the estimate cache
+// steps aside while the live model is under suspicion.
+func (m *Monitor) AlarmActive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.alarmed
 }
 
 // Counters returns the monitor's cumulative counters in a flat, /metrics
@@ -115,6 +139,7 @@ func (m *Monitor) Counters() map[string]any {
 		"drift_feedback_observed": m.observed,
 		"drift_alarms_qerror":     m.alarms[KindQError],
 		"drift_alarms_domain":     m.alarms[KindDomain],
+		"drift_alarm_active":      m.alarmed,
 	}
 }
 
@@ -125,9 +150,11 @@ func (m *Monitor) Status() map[string]any {
 	recent := append([]Event(nil), m.recent...)
 	observed := m.observed
 	qAlarms, dAlarms := m.alarms[KindQError], m.alarms[KindDomain]
+	alarmed := m.alarmed
 	m.mu.Unlock()
 	return map[string]any{
-		"observed": observed,
+		"observed":    observed,
+		"alarmActive": alarmed,
 		"alarms": map[string]uint64{
 			string(KindQError): qAlarms,
 			string(KindDomain): dAlarms,

@@ -94,14 +94,22 @@ func newBatcher(cfg BatcherConfig, onBatch func(int)) *batcher {
 	return b
 }
 
-// Do estimates one query, waiting for its batch to flush. It always returns
-// a result: every enqueued request is flushed, even during drain.
+// Do estimates one query, waiting for its batch to flush — but never past
+// the caller's context: a canceled request unblocks immediately with
+// ctx.Err() instead of riding out MaxDelay in a batch whose answer nobody
+// will read. The enqueued request still flushes (flush writes into the
+// buffered done channel and never blocks); only the wait is abandoned.
 func (b *batcher) Do(ctx context.Context, est estimator.Estimator, q *sqlparse.Query) EstResult {
 	r := &estReq{ctx: ctx, est: est, q: q, done: make(chan EstResult, 1)}
 	if err := b.submit(r); err != nil {
 		return EstResult{Err: err}
 	}
-	return <-r.done
+	select {
+	case res := <-r.done:
+		return res
+	case <-ctx.Done():
+		return EstResult{Err: ctx.Err()}
+	}
 }
 
 // DoBatch estimates a client-supplied batch directly through the parallel

@@ -194,3 +194,29 @@ func TestBatcherContextCancelled(t *testing.T) {
 		t.Errorf("cancelled context produced %+v, want an error", r)
 	}
 }
+
+// TestBatcherCancelUnblocksWaiter: a caller canceled while its batch is
+// still collecting must return immediately with ctx.Err() instead of
+// riding out MaxDelay (regression: Do used to wait on the done channel
+// unconditionally).
+func TestBatcherCancelUnblocksWaiter(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	const maxDelay = 5 * time.Second
+	b := newBatcher(BatcherConfig{MaxBatch: 16, MaxDelay: maxDelay}, nil)
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	r := b.Do(ctx, constEst(5), parseQ(t, stubSQL))
+	waited := time.Since(start)
+	if !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("canceled waiter got %+v, want context.Canceled", r)
+	}
+	if waited >= maxDelay {
+		t.Fatalf("canceled waiter blocked %v, must unblock well before MaxDelay %v", waited, maxDelay)
+	}
+}

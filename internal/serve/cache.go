@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"sync"
+
+	"qfe/internal/core"
+	"qfe/internal/sqlparse"
+)
+
+// The estimate cache is the serving hot path's semantic memo: a sharded,
+// LRU-evicted map from (model generation, canonical query fingerprint) to
+// the estimate the model produced. The fingerprint (core.Fingerprint) keys
+// the featurization equivalence class, so syntactically different queries
+// that the paper's QFTs featurize identically — reordered conjuncts,
+// duplicated predicates, "a > 5" vs. "a >= 6" — collide on purpose and a
+// hit is bit-identical to recomputation against the same model. The
+// registry generation in the key makes invalidation free: every
+// Lifecycle.Publish or Rollback registers a fresh entry with a new
+// generation, so all keys minted against the displaced model simply stop
+// matching and age out of the LRU.
+//
+// Misses are collapsed with a singleflight: when N requests for the same
+// key arrive concurrently, one computes and the rest wait for its result,
+// so a thundering herd of identical queries costs one model inference.
+//
+// What is never cached: failed estimates, degraded (fallback-stage)
+// results, and non-finite values — and the server bypasses the cache
+// entirely while the drift monitor has an active alarm, because a stale
+// estimate during drift is worse than recomputation.
+
+// CacheConfig tunes the estimate cache. The zero value disables it;
+// embedders (and cmd/cardestd) opt in by setting Entries.
+type CacheConfig struct {
+	// Entries bounds the total cached estimates across all shards; past it
+	// the least recently used entry of the insert's shard is evicted.
+	// <= 0 disables the cache.
+	Entries int
+	// Shards is the number of independently locked cache shards (rounded up
+	// to a power of two). Default 16.
+	Shards int
+}
+
+// cacheKey scopes a query's fingerprint to the model generation that will
+// answer it.
+func cacheKey(generation uint64, q *sqlparse.Query) string {
+	return strconv.FormatUint(generation, 10) + ":" + core.Fingerprint(q)
+}
+
+// cacheable reports whether an estimate may be served again: only clean,
+// finite, primary-stage results. Degraded results reflect a fallback the
+// next request may not need, and errors must re-run to heal.
+func cacheable(res EstResult) bool {
+	return res.Err == nil && !res.Degraded &&
+		!math.IsNaN(res.Estimate) && !math.IsInf(res.Estimate, 0)
+}
+
+// flight is one in-progress computation other requests for the same key
+// wait on.
+type flight struct {
+	done chan struct{} // closed when res is set
+	res  EstResult
+}
+
+type cacheEntry struct {
+	key string
+	res EstResult
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element // key → element holding *cacheEntry
+	lru     *list.List               // front = most recently used
+	flights map[string]*flight
+}
+
+// estCache is the sharded LRU + singleflight store. Create with
+// newEstCache; a nil *estCache is a valid always-miss, never-store cache.
+type estCache struct {
+	shards  []*cacheShard
+	mask    uint32
+	perCap  int      // per-shard entry capacity, >= 1
+	metrics *Metrics // hit/miss/eviction/collapse counters
+}
+
+func newEstCache(cfg CacheConfig, m *Metrics) *estCache {
+	if cfg.Entries <= 0 {
+		return nil
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = 16
+	}
+	// Round up to a power of two so shard selection is a mask.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	c := &estCache{
+		shards:  make([]*cacheShard, pow),
+		mask:    uint32(pow - 1),
+		perCap:  (cfg.Entries + pow - 1) / pow,
+		metrics: m,
+	}
+	if c.perCap < 1 {
+		c.perCap = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			entries: make(map[string]*list.Element),
+			lru:     list.New(),
+			flights: make(map[string]*flight),
+		}
+	}
+	return c
+}
+
+func (c *estCache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key)) //nolint:errcheck // fnv.Write never fails
+	return c.shards[h.Sum32()&c.mask]
+}
+
+// get looks key up without joining or starting a flight (the client-batch
+// path, which computes its misses in one parallel flush). Counts a hit or
+// a miss.
+func (c *estCache) get(key string) (EstResult, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(e)
+		res := e.Value.(*cacheEntry).res
+		s.mu.Unlock()
+		c.metrics.cacheHits.Add(1)
+		return res, true
+	}
+	s.mu.Unlock()
+	c.metrics.cacheMisses.Add(1)
+	return EstResult{}, false
+}
+
+// put stores a computed result (batch path); uncacheable results are
+// dropped.
+func (c *estCache) put(key string, res EstResult) {
+	if !cacheable(res) {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	c.insertLocked(s, key, res)
+	s.mu.Unlock()
+}
+
+// do returns the cached result for key or computes it, collapsing
+// concurrent identical misses into one compute call. The caller's ctx only
+// bounds its own wait: a follower whose context expires unblocks
+// immediately, and a follower that inherits a leader's context-shaped
+// failure recomputes for itself rather than propagating an error that says
+// nothing about its own request.
+func (c *estCache) do(ctx context.Context, key string, compute func() EstResult) EstResult {
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(e)
+		res := e.Value.(*cacheEntry).res
+		s.mu.Unlock()
+		c.metrics.cacheHits.Add(1)
+		return res
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		c.metrics.cacheCollapsed.Add(1)
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return EstResult{Err: ctx.Err()}
+		}
+		res := f.res
+		if res.Err != nil && isContextErr(res.Err) && ctx.Err() == nil {
+			// The leader was cut short by its own deadline or client; this
+			// request is still live, so its estimate is still owed.
+			return compute()
+		}
+		return res
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+	c.metrics.cacheMisses.Add(1)
+
+	finished := false
+	defer func() {
+		// On panic (propagated to the HTTP layer's recovery) the flight
+		// still resolves, so followers never hang on a leader that died.
+		if !finished {
+			f.res = EstResult{Err: errors.New("serve: estimate computation panicked")}
+			s.mu.Lock()
+			delete(s.flights, key)
+			s.mu.Unlock()
+			close(f.done)
+		}
+	}()
+	res := compute()
+	finished = true
+
+	s.mu.Lock()
+	delete(s.flights, key)
+	if cacheable(res) {
+		c.insertLocked(s, key, res)
+	}
+	s.mu.Unlock()
+	f.res = res
+	close(f.done)
+	return res
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// insertLocked adds or refreshes key under s.mu, evicting the shard's LRU
+// tail past capacity.
+func (c *estCache) insertLocked(s *cacheShard, key string, res EstResult) {
+	if e, ok := s.entries[key]; ok {
+		e.Value.(*cacheEntry).res = res
+		s.lru.MoveToFront(e)
+		return
+	}
+	s.entries[key] = s.lru.PushFront(&cacheEntry{key: key, res: res})
+	for s.lru.Len() > c.perCap {
+		tail := s.lru.Back()
+		s.lru.Remove(tail)
+		delete(s.entries, tail.Value.(*cacheEntry).key)
+		c.metrics.cacheEvictions.Add(1)
+	}
+}
+
+// len reports the cached entry count across shards (tests and status).
+func (c *estCache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

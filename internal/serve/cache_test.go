@@ -1,0 +1,499 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qfe/internal/estimator"
+	"qfe/internal/sqlparse"
+	"qfe/internal/testutil"
+)
+
+// okRes wraps a value as a clean primary-stage result.
+func okRes(v float64) EstResult { return EstResult{Estimate: v, Stage: "learned"} }
+
+func newTestCache(entries, shards int) (*estCache, *Metrics) {
+	m := newMetrics()
+	return newEstCache(CacheConfig{Entries: entries, Shards: shards}, m), m
+}
+
+func TestCacheDisabledByZeroConfig(t *testing.T) {
+	if c := newEstCache(CacheConfig{}, newMetrics()); c != nil {
+		t.Fatal("zero CacheConfig must disable the cache")
+	}
+	if c := newEstCache(CacheConfig{Entries: -1}, newMetrics()); c != nil {
+		t.Fatal("negative Entries must disable the cache")
+	}
+}
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c, m := newTestCache(2, 1) // single shard: LRU order is deterministic
+
+	calls := 0
+	compute := func(v float64) func() EstResult {
+		return func() EstResult { calls++; return okRes(v) }
+	}
+	ctx := context.Background()
+
+	if res := c.do(ctx, "a", compute(1)); res.Estimate != 1 {
+		t.Fatalf("first a: %+v", res)
+	}
+	if res := c.do(ctx, "a", compute(99)); res.Estimate != 1 {
+		t.Fatalf("cached a: %+v, want the first computation's value", res)
+	}
+	c.do(ctx, "b", compute(2))
+	c.do(ctx, "a", compute(99)) // refreshes a's recency
+	c.do(ctx, "c", compute(3))  // capacity 2: evicts b, the LRU entry
+	if res := c.do(ctx, "a", compute(99)); res.Estimate != 1 {
+		t.Fatalf("a must have survived (its hit refreshed recency): %+v", res)
+	}
+	if res := c.do(ctx, "b", compute(4)); res.Estimate != 4 {
+		t.Fatalf("b after eviction: %+v, want recomputed 4", res)
+	}
+
+	if calls != 4 {
+		t.Errorf("computed %d times, want 4 (a, b, c, b-again)", calls)
+	}
+	if h, mi, ev := m.cacheHits.Load(), m.cacheMisses.Load(), m.cacheEvictions.Load(); h != 3 || mi != 4 || ev != 2 {
+		t.Errorf("hits/misses/evictions = %d/%d/%d, want 3/4/2", h, mi, ev)
+	}
+	if got := c.len(); got != 2 {
+		t.Errorf("cache holds %d entries, want 2", got)
+	}
+}
+
+func TestCacheUncacheableResults(t *testing.T) {
+	c, m := newTestCache(8, 1)
+	ctx := context.Background()
+
+	calls := 0
+	for i, res := range []EstResult{
+		{Err: errors.New("boom")},
+		{Estimate: 7, Degraded: true, Stage: "sampling"},
+	} {
+		res := res
+		key := fmt.Sprintf("k%d", i)
+		for j := 0; j < 2; j++ {
+			got := c.do(ctx, key, func() EstResult { calls++; return res })
+			if got != res {
+				t.Fatalf("key %s round %d: %+v, want %+v", key, j, got, res)
+			}
+		}
+	}
+	if calls != 4 {
+		t.Errorf("computed %d times, want 4: errors and degraded results must never be cached", calls)
+	}
+	if h := m.cacheHits.Load(); h != 0 {
+		t.Errorf("%d hits on uncacheable results, want 0", h)
+	}
+}
+
+func TestCacheSingleflightCollapse(t *testing.T) {
+	c, m := newTestCache(8, 4)
+	const followers = 8
+
+	var computes atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan EstResult, 1)
+	go func() {
+		leaderDone <- c.do(context.Background(), "k", func() EstResult {
+			computes.Add(1)
+			close(entered)
+			<-release
+			return okRes(42)
+		})
+	}()
+	<-entered
+
+	var wg sync.WaitGroup
+	results := make([]EstResult, followers)
+	for i := 0; i < followers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = c.do(context.Background(), "k", func() EstResult {
+				computes.Add(1)
+				return okRes(-1)
+			})
+		}()
+	}
+	// Wait until every follower has joined the flight, then let it finish.
+	for deadline := time.Now().Add(5 * time.Second); m.cacheCollapsed.Load() < followers; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d followers collapsed", m.cacheCollapsed.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if res := <-leaderDone; res.Estimate != 42 {
+		t.Fatalf("leader: %+v", res)
+	}
+	for i, res := range results {
+		if res.Err != nil || res.Estimate != 42 {
+			t.Fatalf("follower %d: %+v, want the leader's 42", i, res)
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Errorf("%d computations for %d concurrent identical requests, want 1", n, followers+1)
+	}
+	if col := m.cacheCollapsed.Load(); col != followers {
+		t.Errorf("cache_collapsed = %d, want %d", col, followers)
+	}
+}
+
+// TestCacheFollowerCancellation: a follower whose own context dies must
+// unblock immediately instead of waiting for the leader's flush.
+func TestCacheFollowerCancellation(t *testing.T) {
+	c, _ := newTestCache(8, 1)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go c.do(context.Background(), "k", func() EstResult {
+		close(entered)
+		<-release
+		return okRes(1)
+	})
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	start := time.Now()
+	res := c.do(ctx, "k", func() EstResult { return okRes(-1) })
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("canceled follower got %+v, want context.Canceled", res)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("canceled follower blocked %v", waited)
+	}
+}
+
+// TestCacheLeaderCanceledFollowerRecomputes: a leader cut short by its own
+// deadline must not poison live followers with its context error — they
+// compute for themselves.
+func TestCacheLeaderCanceledFollowerRecomputes(t *testing.T) {
+	c, _ := newTestCache(8, 1)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go c.do(context.Background(), "k", func() EstResult {
+		close(entered)
+		<-release
+		return EstResult{Err: context.DeadlineExceeded}
+	})
+	<-entered
+
+	followerDone := make(chan EstResult, 1)
+	go func() {
+		followerDone <- c.do(context.Background(), "k", func() EstResult { return okRes(7) })
+	}()
+	// The follower is parked on the flight; release the doomed leader.
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	res := <-followerDone
+	if res.Err != nil || res.Estimate != 7 {
+		t.Fatalf("follower after canceled leader: %+v, want its own 7", res)
+	}
+}
+
+// ---- server-level behavior ----
+
+// cachedServer builds a stub server with the estimate cache enabled.
+func cachedServer(tb testing.TB, est estimator.Estimator, mutate func(*Config)) *Server {
+	return newStubServer(tb, est, func(cfg *Config) {
+		cfg.Cache = CacheConfig{Entries: 128}
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+}
+
+// countingEst counts calls and answers with a fixed value.
+type countingEst struct {
+	calls atomic.Int64
+	value float64
+}
+
+func (c *countingEst) Name() string { return "counting" }
+func (c *countingEst) Estimate(*sqlparse.Query) (float64, error) {
+	c.calls.Add(1)
+	return c.value, nil
+}
+
+func TestServerCacheHitIsBitIdentical(t *testing.T) {
+	est := &countingEst{value: 1234.5678901234}
+	srv := cachedServer(t, est, nil)
+	h := srv.Handler()
+
+	// Three syntactic spellings of one equivalence class.
+	variants := []string{
+		"SELECT count(*) FROM t WHERE a >= 1",
+		"SELECT count(*) FROM t WHERE a > 0",
+		"SELECT count(*) FROM t WHERE a >= 1 AND a >= 1",
+	}
+	var estimates []float64
+	for _, sql := range variants {
+		code, body := postJSON(t, h, "/v1/estimate", map[string]any{"sql": sql})
+		if code != http.StatusOK {
+			t.Fatalf("POST %q: %d %v", sql, code, body)
+		}
+		estimates = append(estimates, body["estimate"].(float64))
+	}
+	for i, e := range estimates {
+		if e != est.value {
+			t.Fatalf("variant %d estimate %v, want bit-identical %v", i, e, est.value)
+		}
+	}
+	if n := est.calls.Load(); n != 1 {
+		t.Errorf("estimator ran %d times for 3 equivalent queries, want 1", n)
+	}
+	m := srv.Metrics()
+	if h, mi := m.cacheHits.Load(), m.cacheMisses.Load(); h != 2 || mi != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", h, mi)
+	}
+}
+
+func TestServerCacheBypass(t *testing.T) {
+	est := &countingEst{value: 9}
+	var bypass atomic.Bool
+	srv := cachedServer(t, est, func(cfg *Config) {
+		cfg.CacheBypass = bypass.Load
+	})
+	h := srv.Handler()
+
+	post := func() {
+		if code, body := postJSON(t, h, "/v1/estimate", map[string]any{"sql": stubSQL}); code != http.StatusOK {
+			t.Fatalf("POST: %d %v", code, body)
+		}
+	}
+	post()             // miss, cached
+	post()             // hit
+	bypass.Store(true) // drift alarm: every request recomputes
+	post()
+	post()
+	if n := est.calls.Load(); n != 3 {
+		t.Errorf("estimator ran %d times, want 3 (1 miss + 2 bypassed)", n)
+	}
+	bypass.Store(false) // alarm cleared: the cached entry serves again
+	post()
+	if n := est.calls.Load(); n != 3 {
+		t.Errorf("estimator ran %d times after alarm cleared, want still 3", n)
+	}
+}
+
+func TestServerCacheBatchPath(t *testing.T) {
+	est := &countingEst{value: 5}
+	srv := cachedServer(t, est, nil)
+	h := srv.Handler()
+
+	batch := map[string]any{"queries": []map[string]any{
+		{"sql": "SELECT count(*) FROM t WHERE a = 1"},
+		{"sql": "SELECT count(*) FROM t WHERE a = 2"},
+		{"sql": "SELECT count(*) FROM t WHERE a = 1"}, // duplicate in-batch
+	}}
+	if code, body := postJSON(t, h, "/v1/estimate", batch); code != http.StatusOK {
+		t.Fatalf("batch 1: %d %v", code, body)
+	}
+	first := est.calls.Load()
+	if first != 3 {
+		t.Fatalf("first batch ran the estimator %d times, want 3 (batch path has no in-flight collapse)", first)
+	}
+	// Replay: every query now hits.
+	if code, body := postJSON(t, h, "/v1/estimate", batch); code != http.StatusOK {
+		t.Fatalf("batch 2: %d %v", code, body)
+	}
+	if n := est.calls.Load(); n != first {
+		t.Errorf("replayed batch ran the estimator %d more times, want 0", n-first)
+	}
+	m := srv.Metrics()
+	if h2 := m.cacheHits.Load(); h2 != 3 {
+		t.Errorf("cache_hits = %d, want 3", h2)
+	}
+}
+
+// TestServerCacheSingleflightE2E: concurrent identical single requests
+// cost one model inference end to end.
+func TestServerCacheSingleflightE2E(t *testing.T) {
+	est := &blockingEst{started: make(chan struct{}, 1), release: make(chan struct{})}
+	srv := cachedServer(t, est, func(cfg *Config) {
+		cfg.MaxInFlight = 32
+	})
+	h := srv.Handler()
+	const followers = 6
+
+	results := make(chan float64, followers+1)
+	post := func() {
+		code, body := postJSON(t, h, "/v1/estimate", map[string]any{"sql": stubSQL})
+		if code != http.StatusOK {
+			t.Errorf("POST: %d %v", code, body)
+			results <- -1
+			return
+		}
+		results <- body["estimate"].(float64)
+	}
+	go post()
+	<-est.started // the leader is inside the model
+
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); post() }()
+	}
+	m := srv.Metrics()
+	for deadline := time.Now().Add(5 * time.Second); m.cacheCollapsed.Load() < followers; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d followers collapsed onto the in-flight estimate", m.cacheCollapsed.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(est.release)
+	wg.Wait()
+	for i := 0; i < followers+1; i++ {
+		if v := <-results; v != 42 {
+			t.Fatalf("response %d = %v, want 42", i, v)
+		}
+	}
+	select {
+	case <-est.started:
+		t.Fatal("model ran a second inference for collapsed identical queries")
+	default:
+	}
+}
+
+// ---- generation-scoped invalidation ----
+
+// TestCachePublishInvalidates: publishing a new default model bumps the
+// registry generation, so the very next request misses the cache and is
+// answered by the new model — no explicit invalidation call anywhere.
+func TestCachePublishInvalidates(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	reg := NewRegistry()
+	lc, err := NewLifecycle(LifecycleConfig{Registry: reg, Canary: looseCanary(canarySet(t, 20, 100))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Registry:  reg,
+		Lifecycle: lc,
+		Cache:     CacheConfig{Entries: 128},
+		Batcher:   BatcherConfig{MaxBatch: 4, MaxDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+	ctx := context.Background()
+
+	publish := func(est estimator.Estimator) {
+		t.Helper()
+		if _, err := lc.Publish(ctx, PublishSpec{Name: "live", Est: est, Kind: "stub", MakeDefault: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	estimate := func() float64 {
+		t.Helper()
+		code, body := postJSON(t, h, "/v1/estimate", map[string]any{"sql": stubSQL})
+		if code != http.StatusOK {
+			t.Fatalf("POST: %d %v", code, body)
+		}
+		return body["estimate"].(float64)
+	}
+
+	publish(constEst(100))
+	if got := estimate(); got != 100 {
+		t.Fatalf("v1 estimate = %v, want 100", got)
+	}
+	if got := estimate(); got != 100 {
+		t.Fatalf("v1 cached estimate = %v, want 100", got)
+	}
+
+	publish(constEst(200))
+	if got := estimate(); got != 200 {
+		t.Fatalf("estimate after publish = %v, want the new model's 200 — the cache served a stale generation", got)
+	}
+	m := srv.Metrics()
+	if h2, mi := m.cacheHits.Load(), m.cacheMisses.Load(); h2 != 1 || mi != 2 {
+		t.Errorf("hits/misses = %d/%d, want 1/2 (publish must force a miss)", h2, mi)
+	}
+}
+
+// TestCacheRollbackInvalidates: a rollback re-registers the restored
+// snapshot under a fresh generation, so cached entries from the rolled-back
+// model stop matching.
+func TestCacheRollbackInvalidates(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	db, canaryWS, good, _ := lifecycleEnv(t)
+	lc, reg := newLifecycle(t, t.TempDir(), looseCanary(canaryWS), db)
+	srv, err := New(Config{
+		Registry:  reg,
+		Lifecycle: lc,
+		Cache:     CacheConfig{Entries: 128},
+		Batcher:   BatcherConfig{MaxBatch: 4, MaxDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+	ctx := context.Background()
+
+	spec := PublishSpec{
+		Name: "live", Est: good, Kind: "local",
+		Snapshot: snapshotBytes(t, good), MakeDefault: true,
+	}
+	if _, err := lc.Publish(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := lc.Publish(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probe := canaryWS[0].Query.String()
+	estimate := func() float64 {
+		t.Helper()
+		code, body := postJSON(t, h, "/v1/estimate", map[string]any{"sql": probe})
+		if code != http.StatusOK {
+			t.Fatalf("POST: %d %v", code, body)
+		}
+		return body["estimate"].(float64)
+	}
+	before := estimate()
+	if again := estimate(); again != before {
+		t.Fatalf("cached estimate %v differs from first answer %v", again, before)
+	}
+	m := srv.Metrics()
+	if h2, mi := m.cacheHits.Load(), m.cacheMisses.Load(); h2 != 1 || mi != 1 {
+		t.Fatalf("hits/misses before rollback = %d/%d, want 1/1", h2, mi)
+	}
+
+	if _, err := lc.Rollback(ctx, "cache invalidation test"); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := reg.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation == p2.Info.Generation {
+		t.Fatal("rollback kept the registry generation; cached entries would survive")
+	}
+
+	// Same model weights restored from the snapshot: the answer is the
+	// same number, but it must be recomputed, not served from cache.
+	after := estimate()
+	if after != before {
+		t.Fatalf("restored model answers %v, want %v (same snapshot)", after, before)
+	}
+	if h2, mi := m.cacheHits.Load(), m.cacheMisses.Load(); h2 != 1 || mi != 2 {
+		t.Errorf("hits/misses after rollback = %d/%d, want 1/2 (rollback must force a miss)", h2, mi)
+	}
+}

@@ -28,9 +28,11 @@ func newHistogram(bounds ...float64) *histogram {
 	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
 }
 
-// Observe records v. NaN observations are dropped (they would poison sum).
+// Observe records v. Non-finite observations are dropped: a NaN or a
+// single ±Inf would poison sum permanently (every later finite observation
+// still renders an infinite sum in /metrics).
 func (h *histogram) Observe(v float64) {
-	if math.IsNaN(v) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
 	i := 0
@@ -86,6 +88,12 @@ type Metrics struct {
 	degraded  atomic.Int64 // queries answered by a non-primary resilience stage
 	estErrors atomic.Int64 // queries whose estimation failed (client-visible 4xx)
 	swaps     atomic.Int64 // model registry loads/swaps
+
+	// Estimate-cache counters (generation-scoped semantic cache, cache.go).
+	cacheHits      atomic.Int64 // estimates served from the cache
+	cacheMisses    atomic.Int64 // estimates computed (and possibly stored)
+	cacheEvictions atomic.Int64 // entries displaced by LRU pressure
+	cacheCollapsed atomic.Int64 // requests that waited on an identical in-flight compute
 
 	// Model-lifecycle counters (canary gate, supervisor, rollback).
 	canaryPass  atomic.Int64 // canary runs that admitted a model
@@ -221,6 +229,10 @@ func (m *Metrics) Snapshot() map[string]any {
 		"degraded_total":        m.degraded.Load(),
 		"estimate_errors_total": m.estErrors.Load(),
 		"model_swaps_total":     m.swaps.Load(),
+		"cache_hits":            m.cacheHits.Load(),
+		"cache_misses":          m.cacheMisses.Load(),
+		"cache_evictions":       m.cacheEvictions.Load(),
+		"cache_collapsed":       m.cacheCollapsed.Load(),
 		"canary_pass_total":     m.canaryPass.Load(),
 		"canary_fail_total":     m.canaryFail.Load(),
 		"rollbacks_total":       m.rollbacks.Load(),

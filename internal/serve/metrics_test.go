@@ -41,6 +41,26 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestHistogramRejectsNonFinite: ±Inf must be dropped like NaN — a single
+// infinite observation would otherwise poison the sum forever (regression:
+// Observe only filtered NaN).
+func TestHistogramRejectsNonFinite(t *testing.T) {
+	h := newHistogram(10, 100)
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(math.NaN())
+	h.Observe(1)
+
+	snap := h.snapshot()
+	if snap["count"] != int64(1) {
+		t.Errorf("count = %v, want 1 (non-finite observations dropped)", snap["count"])
+	}
+	sum := snap["sum"].(float64)
+	if sum != 1 || math.IsInf(sum, 0) || math.IsNaN(sum) {
+		t.Errorf("sum = %v, want finite 1", sum)
+	}
+}
+
 // TestHistogramConcurrent validates the CAS-accumulated sum under
 // contention (run with -race).
 func TestHistogramConcurrent(t *testing.T) {

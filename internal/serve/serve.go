@@ -86,6 +86,15 @@ type Config struct {
 	// enables POST /v1/models/rollback. Nil preserves the direct,
 	// ungated load path.
 	Lifecycle *Lifecycle
+	// Cache enables the generation-scoped semantic estimate cache on the
+	// /v1/estimate hot path (see cache.go). The zero value disables it.
+	Cache CacheConfig
+	// CacheBypass, when non-nil, is consulted per request: while it returns
+	// true the cache is neither read nor written (hits, misses, and
+	// singleflight all skipped). The daemon wires the drift monitor's
+	// active-alarm state here — stale estimates during drift are worse
+	// than recomputation. Must be safe for concurrent use.
+	CacheBypass func() bool
 	// Feedback, when non-nil, observes every successfully estimated query
 	// together with the client-reported true cardinality (0 when the client
 	// reported none). Called synchronously on the request path — keep it
@@ -132,6 +141,7 @@ type Server struct {
 	reg      *Registry
 	batcher  *batcher
 	limiter  *limiter
+	cache    *estCache // nil when Config.Cache left zero
 	metrics  *Metrics
 	mux      *http.ServeMux
 	draining atomic.Bool
@@ -150,6 +160,7 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 	}
 	s.batcher = newBatcher(cfg.Batcher, s.metrics.observeBatch)
+	s.cache = newEstCache(cfg.Cache, s.metrics)
 	if cfg.Lifecycle != nil {
 		cfg.Lifecycle.bindMetrics(s.metrics)
 	}
@@ -288,7 +299,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	if !s.limiter.tryAcquire() {
 		s.metrics.shed.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.999)))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 		writeError(w, http.StatusTooManyRequests, "at capacity (%d requests in flight); retry later", s.limiter.capacity())
 		return
 	}
@@ -337,7 +348,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		res := s.estimateTimed(ctx, est, q, req.Actual)
+		res := s.estimateTimed(ctx, est, info.Generation, q, req.Actual)
 		if res.Error != "" {
 			// The query parsed but could not be estimated (e.g. no model for
 			// its sub-schema): the request, not the server, is at fault.
@@ -369,7 +380,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		idx = append(idx, i)
 	}
 	start := time.Now()
-	batchRes := s.batcher.DoBatch(ctx, est, qs)
+	batchRes := s.estimateBatch(ctx, est, info.Generation, qs)
 	elapsed := time.Since(start)
 	for j, br := range batchRes {
 		i := idx[j]
@@ -387,11 +398,30 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, estimateResponse{Model: info.Name, Results: results})
 }
 
-// estimateTimed runs one query through the coalescing batcher and records
-// its metrics.
-func (s *Server) estimateTimed(ctx context.Context, est estimator.Estimator, q *sqlparse.Query, actual float64) estimateResult {
+// activeCache returns the estimate cache, or nil when it is disabled or
+// bypassed for this request (drift alarm active).
+func (s *Server) activeCache() *estCache {
+	if s.cache == nil {
+		return nil
+	}
+	if s.cfg.CacheBypass != nil && s.cfg.CacheBypass() {
+		return nil
+	}
+	return s.cache
+}
+
+// estimateTimed runs one query through the estimate cache and the
+// coalescing batcher, and records its metrics. Feedback (drift monitoring,
+// q-error accounting) observes cached answers too: the client still
+// received that estimate, so the detectors must still see it.
+func (s *Server) estimateTimed(ctx context.Context, est estimator.Estimator, gen uint64, q *sqlparse.Query, actual float64) estimateResult {
 	start := time.Now()
-	br := s.batcher.Do(ctx, est, q)
+	var br EstResult
+	if c := s.activeCache(); c != nil {
+		br = c.do(ctx, cacheKey(gen, q), func() EstResult { return s.batcher.Do(ctx, est, q) })
+	} else {
+		br = s.batcher.Do(ctx, est, q)
+	}
 	elapsed := time.Since(start)
 	s.metrics.observeQuery(elapsed, br.Degraded, br.Err)
 	if br.Err == nil {
@@ -403,6 +433,51 @@ func (s *Server) estimateTimed(ctx context.Context, est estimator.Estimator, q *
 		}
 	}
 	return toResult(br, elapsed)
+}
+
+// estimateBatch answers a client-supplied batch, serving what it can from
+// the estimate cache and pushing only the misses through the parallel
+// path in one flush. The batch path skips the singleflight — the client
+// already batched, so there is nothing concurrent to collapse — but reads
+// and feeds the same cache as the single path.
+func (s *Server) estimateBatch(ctx context.Context, est estimator.Estimator, gen uint64, qs []*sqlparse.Query) []EstResult {
+	c := s.activeCache()
+	if c == nil {
+		return s.batcher.DoBatch(ctx, est, qs)
+	}
+	out := make([]EstResult, len(qs))
+	keys := make([]string, len(qs))
+	missQ := make([]*sqlparse.Query, 0, len(qs))
+	missIdx := make([]int, 0, len(qs))
+	for i, q := range qs {
+		keys[i] = cacheKey(gen, q)
+		if res, ok := c.get(keys[i]); ok {
+			out[i] = res
+			continue
+		}
+		missQ = append(missQ, q)
+		missIdx = append(missIdx, i)
+	}
+	if len(missQ) > 0 {
+		for k, res := range s.batcher.DoBatch(ctx, est, missQ) {
+			out[missIdx[k]] = res
+			c.put(keys[missIdx[k]], res)
+		}
+	}
+	return out
+}
+
+// retryAfterSeconds renders the Retry-After hint: the configured duration
+// rounded up to whole seconds and clamped to >= 1. The naive truncation it
+// replaces rendered sub-second durations as "Retry-After: 0", which invites
+// every shed client to retry immediately — a thundering herd aimed at a
+// server that just declared itself at capacity.
+func retryAfterSeconds(d time.Duration) int {
+	secs := (d + time.Second - 1) / time.Second
+	if secs < 1 {
+		secs = 1
+	}
+	return int(secs)
 }
 
 // finiteActual vets a client-reported true cardinality at the ingestion

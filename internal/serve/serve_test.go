@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -598,5 +600,64 @@ func TestHotSwapEndToEnd(t *testing.T) {
 	}
 	if snap["shed_total"] != int64(0) || snap["drained_total"] != int64(0) {
 		t.Errorf("shed/drained = %v/%v, want 0/0", snap["shed_total"], snap["drained_total"])
+	}
+}
+
+// TestRetryAfterSeconds: the Retry-After header takes integer seconds; any
+// positive configured delay must round up and never render as 0 (which
+// clients read as "retry immediately", regression for sub-second configs).
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Nanosecond, 1},
+		{50 * time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1001 * time.Millisecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{90 * time.Second, 90},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestShedSetsUsableRetryAfter: end to end, a shed request under a
+// sub-second RetryAfter config must carry a parseable, nonzero header.
+func TestShedSetsUsableRetryAfter(t *testing.T) {
+	est := &blockingEst{started: make(chan struct{}), release: make(chan struct{})}
+	srv := newStubServer(t, est, func(cfg *Config) {
+		cfg.MaxInFlight = 1
+		cfg.RetryAfter = 250 * time.Millisecond
+	})
+	h := srv.Handler()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postJSON(t, h, "/v1/estimate", map[string]any{"sql": stubSQL})
+	}()
+	<-est.started // the slot is occupied
+	defer func() {
+		close(est.release)
+		<-done
+	}()
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/estimate",
+		strings.NewReader(`{"sql":"`+stubSQL+`"}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", rec.Header().Get("Retry-After"))
 	}
 }
