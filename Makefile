@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check ci serve-smoke fmt fuzz fuzz-serve fuzz-store soak bench bench-cache chaos-train lint
+.PHONY: build test vet race check ci serve-smoke fmt fuzz fuzz-serve fuzz-store fuzz-journal soak bench bench-cache bench-journal chaos-train lint
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race -short ./...
+	$(GO) test -fuzz=FuzzJournalRead -fuzztime=5s ./internal/journal
 	$(MAKE) lint
 
 # lint runs the optional static analyzers. Both are gated on availability:
@@ -70,12 +71,20 @@ bench:
 bench-cache:
 	$(GO) run ./cmd/parbench -cache-only -cache-out BENCH_serve_cache.json
 
+# bench-journal measures the feedback journal: durable append throughput
+# with batched fsync vs. one fsync per record (the justification for the
+# journal's batching writer), and replay throughput in queries/sec. Real
+# disk, real fsyncs; writes BENCH_journal.json.
+bench-journal:
+	$(GO) run ./cmd/journalbench -out BENCH_journal.json
+
 fmt:
 	gofmt -l -w .
 
-# Explore the parser fuzz target (runs until interrupted).
+# Explore the parser and journal-reader fuzz targets.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/sqlparse
+	$(GO) test -fuzz=FuzzJournalRead -fuzztime=30s ./internal/journal
 
 # Fuzz the HTTP estimate handler: malformed SQL/JSON must yield 4xx, never
 # a 5xx or a panic.
@@ -88,10 +97,17 @@ fuzz-serve:
 fuzz-store:
 	$(GO) test -fuzz=FuzzLoadEstimator -fuzztime=30s ./internal/estimator
 
+# Fuzz the journal segment scanner: arbitrary mutations of segment bytes
+# must classify as clean / truncated / corrupt — never panic, never trust
+# damaged frames. This is what journal recovery and cmd/replay lean on.
+fuzz-journal:
+	$(GO) test -fuzz=FuzzJournalRead -fuzztime=30s ./internal/journal
+
 # soak is the wide crash/chaos sweep: every filesystem fault kind (crash,
 # torn write, ENOSPC, short read, bit flip) at every mutating/reading
 # operation ordinal, QFE_SOAK widening the per-point seed sweep, all under
 # the race detector, plus the recovery and canary suites end to end.
 soak:
 	QFE_SOAK=1 $(GO) test -race -run 'Crash|Chaos|Fault|Sweep|Recover|Canary|Rollback|Supervisor' \
-		./internal/store/... ./internal/resilience/faultinject/... ./internal/serve/... ./cmd/cardestd/...
+		./internal/store/... ./internal/resilience/faultinject/... ./internal/serve/... \
+		./internal/journal/... ./cmd/cardestd/...

@@ -16,6 +16,8 @@
 //	         [-retrain] [-retrain-cooldown 1m] [-drift-delta 0.05]
 //	         [-drift-lambda 25] [-drift-min-samples 50] [-drift-window 200]
 //	         [-drift-ood-fraction 0.25]
+//	         [-journal dir] [-journal-segment-size 4194304]
+//	         [-journal-retention 8]
 //
 // Without -load, the daemon builds the synthetic forest database and trains
 // a model at boot (same flags as cardest), registered as "boot". With
@@ -64,6 +66,21 @@
 // drift alarm is active (-retrain) the cache is bypassed. /metrics reports
 // cache_hits, cache_misses, cache_evictions, and cache_collapsed.
 //
+// -journal arms the durable query-feedback journal (see internal/journal):
+// every served estimate — SQL, fingerprint, estimate, client-reported
+// actual (with an explicit has-actual bit), latency, model generation,
+// timestamp — is appended to a segmented, CRC-framed, crash-recoverable
+// log under the directory. The append path never blocks serving: a slow or
+// wedged journal sheds records (journal_shed in /metrics) instead of
+// stalling /v1/estimate. Segments rotate at -journal-segment-size bytes and
+// the newest -journal-retention sealed segments survive GC. On rotation,
+// when a lifecycle is armed, a deterministic reservoir sample of recent
+// labeled traffic replaces the canary workload, so publish gates score
+// candidates on what production actually asks. Journaled actuals also label
+// retraining queries before the exact executor runs. GET /v1/journal
+// reports stats and segments; /metrics grows journal_* counters; the
+// cmd/replay CLI replays segments offline against saved models.
+//
 // -timeout and -fallback arm the resilience chain around every registered
 // model, exactly as in cardest: a deadline-bound learned stage degrading
 // through sampling → independence → row-count, so the daemon always
@@ -91,8 +108,12 @@ import (
 	"time"
 
 	"qfe/internal/cli"
+	"qfe/internal/core"
 	"qfe/internal/drift"
 	"qfe/internal/estimator"
+	"qfe/internal/exec"
+	"qfe/internal/journal"
+	"qfe/internal/replay"
 	"qfe/internal/resilience"
 	"qfe/internal/serve"
 	"qfe/internal/sqlparse"
@@ -138,6 +159,10 @@ type options struct {
 	driftMin        int
 	driftWindow     int
 	driftOOD        float64
+
+	journalDir    string
+	journalSegSz  int64
+	journalRetain int
 }
 
 func main() {
@@ -175,6 +200,9 @@ func main() {
 	flag.IntVar(&o.driftMin, "drift-min-samples", 50, "feedback observations before either drift detector may alarm")
 	flag.IntVar(&o.driftWindow, "drift-window", 200, "recent numeric predicate literals the domain detector considers")
 	flag.Float64Var(&o.driftOOD, "drift-ood-fraction", 0.25, "out-of-domain literal fraction that trips the domain detector")
+	flag.StringVar(&o.journalDir, "journal", "", "feedback journal directory (enables durable traffic capture, GET /v1/journal, and traffic-derived canaries)")
+	flag.Int64Var(&o.journalSegSz, "journal-segment-size", 4<<20, "journal segment rotation threshold in bytes")
+	flag.IntVar(&o.journalRetain, "journal-retention", 8, "sealed journal segments kept before GC (negative keeps all)")
 	flag.Parse()
 
 	if err := run(o, os.Stdout); err != nil {
@@ -307,6 +335,61 @@ func run(o options, out io.Writer) error {
 		modelRoot = "."
 	}
 
+	// -journal arms the durable feedback journal: every served estimate is
+	// appended (shed-not-block) to a segmented CRC-framed log, recovered
+	// actuals seed the retrainer's label index, and each segment rotation
+	// derives a fresh canary workload from recent real traffic.
+	var jnl *journal.Journal
+	var actuals *replay.ActualIndex
+	if o.journalDir != "" {
+		actuals = replay.NewActualIndex(0)
+		refreshCanary := func() {
+			if lc == nil {
+				return
+			}
+			recs, err := jnl.ReadSealed()
+			if err != nil || len(recs) == 0 {
+				return
+			}
+			ws := replay.DeriveCanary(recs, o.canaryN, o.seed)
+			bound := ws[:0]
+			for _, l := range ws {
+				if exec.Bind(l.Query, env.DB) == nil {
+					bound = append(bound, l)
+				}
+			}
+			if len(bound) == 0 {
+				return
+			}
+			if err := lc.SetCanaryWorkload(context.Background(), bound); err != nil {
+				fmt.Fprintf(out, "journal: canary refresh skipped: %v\n", err)
+				return
+			}
+			fmt.Fprintf(out, "journal: canary workload refreshed from traffic (%d queries)\n", len(bound))
+		}
+		jnl, err = journal.Open(o.journalDir, journal.Options{
+			SegmentBytes: o.journalSegSz,
+			Retain:       o.journalRetain,
+			// Rotation means a fresh slab of real traffic just sealed; canary
+			// derivation reads and re-estimates, so it runs off the writer.
+			OnRotate: func(journal.SegmentInfo) { go refreshCanary() },
+		})
+		if err != nil {
+			return fmt.Errorf("open feedback journal: %w", err)
+		}
+		defer jnl.Close()
+		js := jnl.Stats()
+		fmt.Fprintf(out, "feedback journal %s: %d sealed segment(s), %d torn tail(s) repaired, %d quarantined\n",
+			o.journalDir, js.SealedSegments, js.TornTailsRepaired, js.SegmentsQuarantined)
+		// Actuals that survived the restart label retraining for free.
+		if recs, err := jnl.ReadSealed(); err == nil {
+			actuals.PutRecords(recs)
+			if n := actuals.Len(); n > 0 {
+				fmt.Fprintf(out, "feedback journal: %d journaled actual(s) indexed for retraining\n", n)
+			}
+		}
+	}
+
 	// -retrain closes the self-healing loop: drift detectors tap the
 	// /v1/estimate feedback stream, alarms submit supervised checkpointed
 	// retraining jobs, and a retrained model takes traffic only by clearing
@@ -321,7 +404,7 @@ func run(o options, out io.Writer) error {
 		for i := range env.Train {
 			qs[i] = env.Train[i].Query
 		}
-		ret, err := trainer.NewRetrainer(trainer.RetrainConfig{
+		retCfg := trainer.RetrainConfig{
 			DB:      env.DB,
 			Queries: qs,
 			NewEstimator: func() (*estimator.Local, error) {
@@ -332,7 +415,13 @@ func run(o options, out io.Writer) error {
 			Lifecycle:  lc,
 			Checkpoint: trainer.NewStoreCheckpointer(st, "retrain"),
 			Workers:    o.workers,
-		})
+		}
+		if actuals != nil {
+			// Journaled actuals label matching training queries for free
+			// before the exact executor runs.
+			retCfg.ActualLookup = actuals.Lookup
+		}
+		ret, err := trainer.NewRetrainer(retCfg)
 		if err != nil {
 			return err
 		}
@@ -387,18 +476,66 @@ func run(o options, out io.Writer) error {
 		// While a drift alarm is pending, serving a memoized estimate would
 		// hide exactly the staleness the detectors just flagged.
 		cfg.CacheBypass = mon.AlarmActive
-		cfg.Feedback = mon.ObserveFeedback
+	}
+	if mon != nil || jnl != nil {
+		cfg.Feedback = func(ev serve.FeedbackEvent) {
+			if mon != nil {
+				mon.ObserveFeedback(ev.Query, ev.Estimate, ev.Actual, ev.HasActual)
+			}
+			if jnl != nil {
+				fp := core.Fingerprint(ev.Query)
+				// Append is a non-blocking enqueue: a wedged journal sheds
+				// records (counted in journal_shed) and the estimate path
+				// never waits.
+				jnl.Append(journal.Record{
+					SQL:           ev.SQL,
+					Fingerprint:   fp,
+					Model:         ev.Model,
+					Generation:    ev.Generation,
+					Estimate:      ev.Estimate,
+					Actual:        ev.Actual,
+					HasActual:     ev.HasActual,
+					LatencyMicros: ev.Latency.Microseconds(),
+				})
+				if ev.HasActual {
+					actuals.Put(fp, ev.Actual)
+				}
+			}
+		}
+	}
+	if mon != nil || jnl != nil {
 		cfg.ExtraMetrics = func() map[string]any {
-			extra := mon.Counters()
-			for k, v := range ctrl.Counters() {
-				extra[k] = v
+			extra := map[string]any{}
+			if mon != nil {
+				for k, v := range mon.Counters() {
+					extra[k] = v
+				}
+				for k, v := range ctrl.Counters() {
+					extra[k] = v
+				}
+			}
+			if jnl != nil {
+				for k, v := range journalCounters(jnl) {
+					extra[k] = v
+				}
 			}
 			return extra
 		}
-		cfg.StatusPages = map[string]func() any{
-			"/v1/drift": func() any {
-				return map[string]any{"drift": mon.Status(), "retrain": ctrl.Status()}
-			},
+	}
+	cfg.StatusPages = map[string]func() any{}
+	if mon != nil {
+		cfg.StatusPages["/v1/drift"] = func() any {
+			return map[string]any{"drift": mon.Status(), "retrain": ctrl.Status()}
+		}
+	}
+	if jnl != nil {
+		cfg.StatusPages["/v1/journal"] = func() any {
+			return map[string]any{
+				"dir":      jnl.Dir(),
+				"stats":    jnl.Stats(),
+				"segments": jnl.Segments(),
+				"indexed":  actuals.Len(),
+			}
 		}
 	}
 	srv, err := serve.New(cfg)
@@ -416,6 +553,23 @@ func run(o options, out io.Writer) error {
 		return smoke(srv, cacheEntries > 0, out)
 	}
 	return listenAndServe(srv, o, out)
+}
+
+// journalCounters flattens the journal's stats into /metrics keys.
+func journalCounters(jnl *journal.Journal) map[string]any {
+	s := jnl.Stats()
+	return map[string]any{
+		"journal_appended":     s.Appended,
+		"journal_shed":         s.Shed,
+		"journal_persisted":    s.Persisted,
+		"journal_dropped":      s.Dropped,
+		"journal_flushes":      s.Flushes,
+		"journal_flush_errors": s.FlushErrors,
+		"journal_rotations":    s.Rotations,
+		"journal_gc_removed":   s.GCRemoved,
+		"journal_segments":     s.SealedSegments,
+		"journal_active_bytes": s.ActiveBytes,
+	}
 }
 
 // resilienceWrap arms the graceful-degradation chain around each registered

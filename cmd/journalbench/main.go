@@ -1,0 +1,194 @@
+// Command journalbench measures the feedback journal's two hot loops and
+// writes the numbers to a JSON report (the `make bench-journal` artifact):
+//
+//   - append throughput, batched fsync vs. one fsync per record — the
+//     difference is the whole argument for the journal's writer design
+//     (Options.FlushBatch), so the report keeps it honest;
+//   - replay throughput: journaled records streamed back through an
+//     estimator (the independence baseline: cheap, deterministic, no
+//     training), in queries per second.
+//
+// Usage:
+//
+//	journalbench [-records 20000] [-batch 64] [-rows 20000] [-seed 1]
+//	             [-out BENCH_journal.json]
+//
+// Appends run against a real on-disk journal in a temp directory (real
+// fsyncs — this is a disk benchmark), waiting for durability via Sync, so
+// "records/s" means durably journaled records per second.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"qfe/internal/dataset"
+	"qfe/internal/estimator"
+	"qfe/internal/journal"
+	"qfe/internal/replay"
+	"qfe/internal/table"
+	"qfe/internal/workload"
+)
+
+type options struct {
+	records int
+	batch   int
+	rows    int
+	seed    int64
+	out     string
+}
+
+type appendResult struct {
+	Mode      string  `json:"mode"` // "batched" or "per-record"
+	Records   int     `json:"records"`
+	Persisted uint64  `json:"persisted"`
+	Shed      uint64  `json:"shed"`
+	Flushes   uint64  `json:"flushes"`
+	Seconds   float64 `json:"seconds"`
+	PerSecond float64 `json:"recordsPerSecond"`
+}
+
+type replayResult struct {
+	Records   int     `json:"records"`
+	Scored    int     `json:"scored"`
+	Seconds   float64 `json:"seconds"`
+	PerSecond float64 `json:"queriesPerSecond"`
+	Median    float64 `json:"median"`
+	P95       float64 `json:"p95"`
+}
+
+type report struct {
+	Records int            `json:"records"`
+	Batch   int            `json:"flushBatch"`
+	Append  []appendResult `json:"append"`
+	Replay  replayResult   `json:"replay"`
+}
+
+func main() {
+	var o options
+	flag.IntVar(&o.records, "records", 20_000, "records per append run")
+	flag.IntVar(&o.batch, "batch", 64, "FlushBatch for the batched run")
+	flag.IntVar(&o.rows, "rows", 20_000, "forest table rows for the replay estimator")
+	flag.Int64Var(&o.seed, "seed", 1, "workload generation seed")
+	flag.StringVar(&o.out, "out", "BENCH_journal.json", "report path")
+	flag.Parse()
+
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "journalbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options, out io.Writer) error {
+	forest, err := dataset.Forest(dataset.ForestConfig{Rows: o.rows, QuantAttrs: 12, BinaryAttrs: 4, Seed: o.seed})
+	if err != nil {
+		return err
+	}
+	db := table.NewDB()
+	db.MustAdd(forest)
+	ws, err := workload.Conjunctive(forest, workload.ConjConfig{
+		Count: min(o.records, 2000), MaxAttrs: 8, MaxNotEquals: 5, Seed: o.seed,
+	})
+	if err != nil {
+		return err
+	}
+	records := make([]journal.Record, o.records)
+	for i := range records {
+		l := ws[i%len(ws)]
+		records[i] = journal.Record{
+			UnixMicros: int64(i) + 1,
+			SQL:        l.Query.String(),
+			Estimate:   float64(l.Card) * 1.5,
+			Actual:     float64(l.Card),
+			HasActual:  true,
+			Model:      "bench",
+			Generation: 1,
+		}
+	}
+
+	rep := report{Records: o.records, Batch: o.batch}
+	for _, mode := range []struct {
+		name  string
+		batch int
+		recs  []journal.Record
+	}{
+		{"batched", o.batch, records},
+		// Per-record fsync is slow by design; a subset keeps the run short
+		// while the per-second rate stays comparable.
+		{"per-record", 1, records[:min(len(records), 2000)]},
+	} {
+		res, err := benchAppend(mode.recs, mode.batch)
+		if err != nil {
+			return err
+		}
+		res.Mode = mode.name
+		rep.Append = append(rep.Append, res)
+		fmt.Fprintf(out, "append %-10s %8.0f records/s (%d flushes, %d shed)\n",
+			mode.name, res.PerSecond, res.Flushes, res.Shed)
+	}
+
+	est := &estimator.Independence{DB: db}
+	start := time.Now()
+	rr := replay.Replay(context.Background(), est, records)
+	elapsed := time.Since(start).Seconds()
+	rep.Replay = replayResult{
+		Records: rr.Records, Scored: rr.Scored, Seconds: elapsed,
+		PerSecond: float64(rr.Scored) / elapsed, Median: rr.Median, P95: rr.P95,
+	}
+	fmt.Fprintf(out, "replay %8.0f queries/s (median q-error %.2f)\n", rep.Replay.PerSecond, rr.Median)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(o.out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", o.out)
+	return nil
+}
+
+// benchAppend journals every record with the given flush batch and waits
+// for full durability; the clock covers enqueue through final fsync.
+func benchAppend(records []journal.Record, batch int) (appendResult, error) {
+	dir, err := os.MkdirTemp("", "journalbench-*")
+	if err != nil {
+		return appendResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	jnl, err := journal.Open(dir, journal.Options{
+		SegmentBytes: 64 << 20, // keep one segment: this measures appends, not rotation
+		FlushBatch:   batch,
+		FlushEvery:   time.Millisecond,
+		Queue:        len(records),
+	})
+	if err != nil {
+		return appendResult{}, err
+	}
+	start := time.Now()
+	for _, rec := range records {
+		jnl.Append(rec)
+	}
+	if err := jnl.Sync(); err != nil {
+		jnl.Close()
+		return appendResult{}, err
+	}
+	elapsed := time.Since(start).Seconds()
+	stats := jnl.Stats()
+	if err := jnl.Close(); err != nil {
+		return appendResult{}, err
+	}
+	return appendResult{
+		Records:   len(records),
+		Persisted: stats.Persisted,
+		Shed:      stats.Shed,
+		Flushes:   stats.Flushes,
+		Seconds:   elapsed,
+		PerSecond: float64(stats.Persisted) / elapsed,
+	}, nil
+}

@@ -168,10 +168,10 @@ func TestMonitorForwardsAlarmsAndCounts(t *testing.T) {
 	}
 	q := parse(t, "SELECT count(*) FROM t WHERE a >= 2")
 	for i := 0; i < 6; i++ {
-		mon.ObserveFeedback(q, 100, 100) // q-error 1: healthy
+		mon.ObserveFeedback(q, 100, 100, true) // q-error 1: healthy
 	}
 	for i := 0; i < 10 && len(events) == 0; i++ {
-		mon.ObserveFeedback(q, 1, 1e6) // q-error 1e6: drifted
+		mon.ObserveFeedback(q, 1, 1e6, true) // q-error 1e6: drifted
 	}
 	if len(events) == 0 {
 		t.Fatal("monitor never forwarded a q-error alarm")
@@ -196,7 +196,7 @@ func TestMonitorForwardsAlarmsAndCounts(t *testing.T) {
 	// Unlabeled feedback (actual <= 0) must not touch the q-error path.
 	before := mon.Counters()["drift_alarms_qerror"].(uint64)
 	for i := 0; i < 20; i++ {
-		mon.ObserveFeedback(q, 1, 0)
+		mon.ObserveFeedback(q, 1, 0, false)
 	}
 	if after := mon.Counters()["drift_alarms_qerror"].(uint64); after != before {
 		t.Errorf("unlabeled feedback moved the q-error alarm counter %d -> %d", before, after)
@@ -224,10 +224,10 @@ func TestMonitorAlarmActive(t *testing.T) {
 
 	q := parse(t, "SELECT count(*) FROM t WHERE a >= 2")
 	for i := 0; i < 6; i++ {
-		mon.ObserveFeedback(q, 100, 100)
+		mon.ObserveFeedback(q, 100, 100, true)
 	}
 	for i := 0; i < 10 && !mon.AlarmActive(); i++ {
-		mon.ObserveFeedback(q, 1, 1e6)
+		mon.ObserveFeedback(q, 1, 1e6, true)
 	}
 	if !mon.AlarmActive() {
 		t.Fatal("sustained drift never raised AlarmActive")
@@ -246,10 +246,10 @@ func TestMonitorAlarmActive(t *testing.T) {
 
 	// Re-alarm, then Rearm (the rejected-retrain path) must clear it too.
 	for i := 0; i < 6; i++ {
-		mon.ObserveFeedback(q, 100, 100)
+		mon.ObserveFeedback(q, 100, 100, true)
 	}
 	for i := 0; i < 10 && !mon.AlarmActive(); i++ {
-		mon.ObserveFeedback(q, 1, 1e6)
+		mon.ObserveFeedback(q, 1, 1e6, true)
 	}
 	if !mon.AlarmActive() {
 		t.Fatal("monitor did not re-alarm after Reset")

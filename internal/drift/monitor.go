@@ -67,14 +67,18 @@ func NewMonitor(db *table.DB, cfg MonitorConfig) (*Monitor, error) {
 	}, nil
 }
 
-// ObserveFeedback feeds one served estimate with ground truth into both
-// detectors. actual <= 0 observations carry no label and drive only the
-// domain detector.
-func (m *Monitor) ObserveFeedback(q *sqlparse.Query, est, actual float64) {
+// ObserveFeedback feeds one served estimate into both detectors. hasActual
+// says whether actual is real ground truth — a genuine zero-row actual
+// drives the q-error detector (QError clamps the truth to 1), while
+// observations without feedback drive only the domain detector. The
+// explicit bit exists because a bare actual==0 used to mean both "no
+// feedback" and "empty result", and phantom zero actuals must never reach
+// the detector.
+func (m *Monitor) ObserveFeedback(q *sqlparse.Query, est, actual float64, hasActual bool) {
 	m.mu.Lock()
 	m.observed++
 	m.mu.Unlock()
-	if actual > 0 {
+	if hasActual {
 		if ev, fired := m.qerr.Observe(metrics.QError(actual, est)); fired {
 			m.record(ev)
 		}

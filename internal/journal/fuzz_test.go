@@ -1,0 +1,63 @@
+package journal
+
+import (
+	"encoding/json"
+	"testing"
+
+	"qfe/internal/store"
+)
+
+// FuzzJournalRead throws arbitrary bytes at the segment scanner — the
+// routine both crash recovery and the offline reader stand on — and checks
+// the classification invariants: every input lands in exactly one of clean /
+// truncated / corrupt, the valid prefix never exceeds the input, and
+// re-scanning the valid prefix is clean and yields the same records (which
+// is precisely what makes torn-tail truncation a safe repair).
+func FuzzJournalRead(f *testing.F) {
+	var clean []byte
+	for i := 0; i < 3; i++ {
+		payload, err := json.Marshal(Record{
+			UnixMicros: int64(i) + 1,
+			SQL:        "SELECT count(*) FROM t WHERE a >= 1",
+			Estimate:   2,
+			Actual:     1,
+			HasActual:  true,
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		clean = store.AppendFrame(clean, store.PayloadJournal, payload)
+	}
+	f.Add(clean)
+	f.Add(clean[:len(clean)-5]) // torn tail
+	f.Add([]byte{})
+	f.Add([]byte("QFES, but not really"))
+	flipped := append([]byte(nil), clean...)
+	flipped[len(flipped)/2] ^= 0x40 // mid-file bit rot
+	f.Add(flipped)
+	// A checksummed frame of the right kind whose payload is not a Record.
+	f.Add(store.AppendFrame(nil, store.PayloadJournal, []byte("[1,2,3]")))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scan := scanBytes(data)
+		if scan.valid < 0 || scan.valid > scan.total || scan.total != int64(len(data)) {
+			t.Fatalf("valid prefix %d outside [0, %d]", scan.valid, len(data))
+		}
+		if scan.truncated && scan.corrupt {
+			t.Fatal("segment classified both truncated and corrupt")
+		}
+		if !scan.truncated && !scan.corrupt && scan.valid != scan.total {
+			t.Fatalf("clean scan stopped at %d of %d bytes", scan.valid, scan.total)
+		}
+		if (scan.truncated || scan.corrupt) && scan.valid == scan.total {
+			t.Fatal("damaged scan claims every byte is valid")
+		}
+		re := scanBytes(data[:scan.valid])
+		if re.truncated || re.corrupt {
+			t.Fatalf("valid prefix re-scans as damaged (truncated=%v corrupt=%v)", re.truncated, re.corrupt)
+		}
+		if len(re.records) != len(scan.records) {
+			t.Fatalf("valid prefix yields %d records, original scan %d", len(re.records), len(scan.records))
+		}
+	})
+}

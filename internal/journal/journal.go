@@ -1,0 +1,632 @@
+// Package journal is the durable query-feedback log of the serving stack: a
+// segmented, append-only, CRC-framed record of every served estimate — SQL
+// text, canonical fingerprint, estimate, client-reported actual cardinality
+// (with an explicit has-actual bit, so a genuine zero-row actual is never
+// confused with "no feedback"), latency, model generation, timestamp.
+//
+// The write path is built for a serving hot path that must never block on
+// disk: Append enqueues onto a bounded channel and returns immediately —
+// when the queue is full (the disk is slow, wedged, or gone) records are
+// shed and counted, never waited on. A single writer goroutine drains the
+// queue, encodes records into QFES frames (the same checksummed envelope
+// the model store uses, payload kind PayloadJournal), and commits batches
+// with one fsync per batch (Options.FlushBatch / Options.FlushEvery). The
+// segment rotates on size or age; sealed segments beyond the retention
+// horizon are garbage-collected.
+//
+// Crash recovery follows the store's discipline in miniature. A batch is
+// committed iff its AppendFile (write + fsync) returned: a crash mid-append
+// leaves a torn tail, which Open truncates away (valid prefix rewritten via
+// tmp + rename + dir fsync, so the repair itself is crash-safe) — committed
+// records are never lost, torn ones are never resurrected. A segment whose
+// frames fail checksum mid-file (bit rot) is quarantined under a
+// quarantined-seg- name instead of being deleted or — worse — partially
+// trusted. Every filesystem touch goes through store.FS, so the
+// fault-injection chaos suite drives append, rotate, and recover through
+// crashes, torn writes, ENOSPC, and bit flips deterministically.
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"qfe/internal/store"
+)
+
+const (
+	segPrefix        = "seg-"
+	tmpSegPrefix     = "tmp-seg-"
+	quarantinePrefix = "quarantined-seg-"
+	segSuffix        = ".qfej"
+)
+
+// Record is one served estimate as journaled. The JSON keys are short
+// because millions of these land on disk.
+type Record struct {
+	// UnixMicros is the serving timestamp. Append stamps it when zero.
+	UnixMicros int64 `json:"t"`
+	// SQL is the query text as served (re-parseable for replay).
+	SQL string `json:"sql"`
+	// Fingerprint is core.Fingerprint(query) — the featurization
+	// equivalence class, usable as a dedup/label key without re-parsing.
+	Fingerprint string `json:"fp,omitempty"`
+	// Model and Generation identify which registry entry answered.
+	Model      string `json:"model,omitempty"`
+	Generation uint64 `json:"gen,omitempty"`
+	// Estimate is the answer the client received.
+	Estimate float64 `json:"est"`
+	// Actual is the client-reported true cardinality; meaningful only when
+	// HasActual. A journaled Actual of 0 with HasActual set is a genuine
+	// empty result, not absent feedback.
+	Actual    float64 `json:"actual,omitempty"`
+	HasActual bool    `json:"hasActual,omitempty"`
+	// LatencyMicros is the server-side estimation latency.
+	LatencyMicros int64 `json:"latMicros,omitempty"`
+}
+
+// SegmentInfo describes one on-disk segment.
+type SegmentInfo struct {
+	Number          uint64 `json:"number"`
+	Path            string `json:"path"`
+	Bytes           int64  `json:"bytes"`
+	Records         int    `json:"records"`
+	FirstUnixMicros int64  `json:"firstUnixMicros,omitempty"`
+	LastUnixMicros  int64  `json:"lastUnixMicros,omitempty"`
+	Sealed          bool   `json:"sealed"`
+}
+
+// Stats are the journal's cumulative counters, served under /v1/journal and
+// merged into /metrics as journal_*.
+type Stats struct {
+	Appended    uint64 `json:"appended"`  // accepted into the queue
+	Shed        uint64 `json:"shed"`      // rejected without blocking (queue full / closed)
+	Persisted   uint64 `json:"persisted"` // durably committed (their batch fsync returned)
+	Dropped     uint64 `json:"dropped"`   // lost to a failed flush (ENOSPC, I/O error)
+	Flushes     uint64 `json:"flushes"`
+	FlushErrors uint64 `json:"flushErrors"`
+	Rotations   uint64 `json:"rotations"`
+	GCRemoved   int    `json:"gcRemoved"` // sealed segments removed by retention GC
+
+	// Recovery counters, set by Open.
+	TornTailsRepaired   int `json:"tornTailsRepaired"`
+	SegmentsQuarantined int `json:"segmentsQuarantined"`
+	TempSwept           int `json:"tempSwept"`
+
+	SealedSegments int   `json:"sealedSegments"`
+	ActiveRecords  int   `json:"activeRecords"`
+	ActiveBytes    int64 `json:"activeBytes"`
+}
+
+// Options configures a Journal.
+type Options struct {
+	// SegmentBytes rotates the active segment once it reaches this size.
+	// 0 means the default 4 MiB.
+	SegmentBytes int64
+	// SegmentAge rotates a non-empty active segment older than this.
+	// 0 means the default 15 minutes; negative disables age rotation.
+	SegmentAge time.Duration
+	// Retain is how many sealed segments survive retention GC. 0 means the
+	// default 8; negative keeps all.
+	Retain int
+	// Queue bounds records waiting for the writer; Append sheds past it.
+	// 0 means the default 1024.
+	Queue int
+	// FlushBatch commits as soon as this many records are pending (one
+	// fsync for the whole batch). 0 means the default 64; 1 means every
+	// record pays its own fsync.
+	FlushBatch int
+	// FlushEvery bounds how long an accepted record may wait un-fsynced.
+	// 0 means the default 50ms.
+	FlushEvery time.Duration
+	// OnRotate, when non-nil, observes every sealed segment from the writer
+	// goroutine. Keep it cheap — hand heavy work (canary derivation) to
+	// another goroutine.
+	OnRotate func(sealed SegmentInfo)
+	// FS overrides the filesystem (fault injection); nil means the real one.
+	FS store.FS
+	// Now overrides the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SegmentAge == 0 {
+		o.SegmentAge = 15 * time.Minute
+	}
+	if o.Retain == 0 {
+		o.Retain = 8
+	}
+	if o.Queue <= 0 {
+		o.Queue = 1024
+	}
+	if o.FlushBatch <= 0 {
+		o.FlushBatch = 64
+	}
+	if o.FlushEvery <= 0 {
+		o.FlushEvery = 50 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = store.OSFS()
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Journal is an open feedback journal. Append is safe for concurrent use
+// and never blocks on the disk; one background writer owns the active
+// segment. Close flushes and stops the writer.
+type Journal struct {
+	dir  string
+	fs   store.FS
+	opts Options
+
+	ch   chan Record
+	sync chan chan error
+	quit chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	mu          sync.Mutex
+	stats       Stats
+	sealed      []SegmentInfo // ascending by number
+	active      SegmentInfo
+	activeBorn  time.Time
+	activeDirty bool // a failed flush may have left a torn tail
+	nextSeg     uint64
+}
+
+// Open recovers dir (creating it if missing) and starts the writer. Torn
+// tails are truncated, corrupt segments quarantined, leftover repair temps
+// swept; appending always starts on a fresh segment so the recovered ones
+// are immutable from here on.
+func Open(dir string, opts Options) (*Journal, error) {
+	opts = opts.withDefaults()
+	j := &Journal{
+		dir:  dir,
+		fs:   opts.FS,
+		opts: opts,
+		ch:   make(chan Record, opts.Queue),
+		sync: make(chan chan error),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if err := j.fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("journal: create %s: %w", dir, err)
+	}
+	if err := j.recover(); err != nil {
+		return nil, err
+	}
+	j.activeBorn = opts.Now()
+	j.active = SegmentInfo{Number: j.nextSeg, Path: j.segPath(j.nextSeg)}
+	j.nextSeg++
+	go j.writer()
+	return j, nil
+}
+
+// recover scans dir, sweeps temps, truncates torn tails, quarantines
+// corrupt segments, and leaves j.sealed holding every readable segment.
+func (j *Journal) recover() error {
+	names, err := j.fs.ReadDir(j.dir)
+	if err != nil {
+		return fmt.Errorf("journal: scan %s: %w", j.dir, err)
+	}
+	j.nextSeg = 1
+	type cand struct {
+		n    uint64
+		name string
+	}
+	var cands []cand
+	for _, name := range names {
+		switch {
+		case strings.HasPrefix(name, tmpSegPrefix):
+			// A crash mid-repair left this; the original segment (torn tail
+			// and all) is still under its seg- name and will be re-repaired.
+			if err := j.fs.RemoveAll(filepath.Join(j.dir, name)); err != nil {
+				return fmt.Errorf("journal: sweep %s: %w", name, err)
+			}
+			j.stats.TempSwept++
+		case strings.HasPrefix(name, quarantinePrefix):
+			j.stats.SegmentsQuarantined++
+			if n, ok := parseSegNumber(name, quarantinePrefix); ok {
+				j.bumpNext(n)
+			}
+		case strings.HasPrefix(name, segPrefix):
+			n, ok := parseSegNumber(name, segPrefix)
+			if !ok {
+				continue
+			}
+			j.bumpNext(n)
+			cands = append(cands, cand{n: n, name: name})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].n < cands[b].n })
+	for _, c := range cands {
+		path := filepath.Join(j.dir, c.name)
+		scan, err := scanSegment(j.fs, path)
+		if err != nil {
+			return fmt.Errorf("journal: read %s: %w", c.name, err)
+		}
+		if scan.corrupt {
+			// Mid-file corruption: nothing past the bad frame can be
+			// trusted, and silently truncating there would discard records
+			// that were committed. Keep the whole segment as evidence.
+			to := filepath.Join(j.dir, fmt.Sprintf("%s%08d%s", quarantinePrefix, c.n, segSuffix))
+			if err := j.fs.Rename(path, to); err != nil {
+				return fmt.Errorf("journal: quarantine %s: %w", c.name, err)
+			}
+			j.fs.SyncDir(j.dir) //nolint:errcheck // rename is visible either way
+			j.stats.SegmentsQuarantined++
+			continue
+		}
+		if scan.truncated {
+			if err := j.truncateTo(path, scan.validPrefix()); err != nil {
+				return err
+			}
+			j.stats.TornTailsRepaired++
+		}
+		if len(scan.records) == 0 {
+			// Nothing committed survived (e.g. the only batch tore at byte
+			// zero): drop the empty shell, keep the number burned.
+			if err := j.fs.RemoveAll(path); err != nil {
+				return fmt.Errorf("journal: remove empty %s: %w", c.name, err)
+			}
+			continue
+		}
+		j.sealed = append(j.sealed, scan.info(c.n, path, true))
+	}
+	j.stats.SealedSegments = len(j.sealed)
+	return nil
+}
+
+// truncateTo rewrites path to hold exactly prefix, crash-safely: the valid
+// bytes land under a temp name, the rename is the commit point, and a crash
+// anywhere re-runs the same repair on next Open.
+func (j *Journal) truncateTo(path string, prefix []byte) error {
+	tmp := filepath.Join(j.dir, tmpSegPrefix+filepath.Base(path))
+	if err := j.fs.WriteFile(tmp, prefix); err != nil {
+		return fmt.Errorf("journal: write repaired %s: %w", filepath.Base(path), err)
+	}
+	if err := j.fs.Rename(tmp, path); err != nil {
+		return fmt.Errorf("journal: commit repaired %s: %w", filepath.Base(path), err)
+	}
+	if err := j.fs.SyncDir(j.dir); err != nil {
+		return fmt.Errorf("journal: sync after repairing %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// Dir returns the journal's root directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Append offers one record to the journal and returns whether it was
+// accepted. It NEVER blocks: a full queue (slow or wedged disk) or a closed
+// journal sheds the record and counts it. Acceptance means "queued", not
+// "durable" — durability follows within FlushEvery if the disk cooperates.
+func (j *Journal) Append(rec Record) bool {
+	if rec.UnixMicros == 0 {
+		rec.UnixMicros = j.opts.Now().UnixMicro()
+	}
+	select {
+	case <-j.quit:
+		j.addShed()
+		return false
+	default:
+	}
+	select {
+	case j.ch <- rec:
+		j.mu.Lock()
+		j.stats.Appended++
+		j.mu.Unlock()
+		return true
+	default:
+		j.addShed()
+		return false
+	}
+}
+
+func (j *Journal) addShed() {
+	j.mu.Lock()
+	j.stats.Shed++
+	j.mu.Unlock()
+}
+
+// Sync flushes everything queued at the moment of the call and returns the
+// flush error, if any. Tests and shutdown paths use it; the hot path never
+// does.
+func (j *Journal) Sync() error {
+	ack := make(chan error, 1)
+	select {
+	case j.sync <- ack:
+		return <-ack
+	case <-j.done:
+		return fmt.Errorf("journal: closed")
+	}
+}
+
+// Close flushes pending records, stops the writer, and returns. Idempotent;
+// Append after Close sheds.
+func (j *Journal) Close() error {
+	j.once.Do(func() { close(j.quit) })
+	<-j.done
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := j.stats
+	s.SealedSegments = len(j.sealed)
+	s.ActiveRecords = j.active.Records
+	s.ActiveBytes = j.active.Bytes
+	return s
+}
+
+// Segments returns the sealed segments (ascending) plus the active one.
+func (j *Journal) Segments() []SegmentInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]SegmentInfo, 0, len(j.sealed)+1)
+	out = append(out, j.sealed...)
+	active := j.active
+	out = append(out, active)
+	return out
+}
+
+// ReadSealed returns every record in the sealed segments, oldest first.
+// Sealed segments are immutable (only retention GC unlinks them, and a
+// segment GC'd mid-read is simply skipped), so this is safe concurrently
+// with serving.
+func (j *Journal) ReadSealed() ([]Record, error) {
+	j.mu.Lock()
+	sealed := append([]SegmentInfo(nil), j.sealed...)
+	j.mu.Unlock()
+	var out []Record
+	for _, seg := range sealed {
+		scan, err := scanSegment(j.fs, seg.Path)
+		if err != nil {
+			continue // GC won the race; the records are gone by policy
+		}
+		out = append(out, scan.records...)
+	}
+	return out, nil
+}
+
+// ---- writer goroutine ----
+
+func (j *Journal) writer() {
+	defer close(j.done)
+	ticker := time.NewTicker(j.opts.FlushEvery)
+	defer ticker.Stop()
+	pending := make([]Record, 0, j.opts.FlushBatch)
+	var buf []byte
+
+	flush := func() {
+		// Rotate FIRST when a failed flush dirtied the active segment:
+		// appending frames behind a torn one would make the whole segment
+		// scan as corrupt and cost the committed prefix its recovery.
+		j.maybeRotate()
+		if len(pending) > 0 {
+			buf = buf[:0]
+			for _, rec := range pending {
+				payload, err := json.Marshal(rec)
+				if err != nil {
+					continue // unencodable records cannot exist; Record is plain data
+				}
+				buf = store.AppendFrame(buf, store.PayloadJournal, payload)
+			}
+			err := j.fs.AppendFile(j.activePath(), buf)
+			j.noteFlush(pending, int64(len(buf)), err)
+			pending = pending[:0]
+		}
+		j.maybeRotate()
+	}
+	drain := func() {
+		for {
+			select {
+			case rec := <-j.ch:
+				pending = append(pending, rec)
+				if len(pending) >= j.opts.FlushBatch {
+					flush()
+				}
+			default:
+				return
+			}
+		}
+	}
+
+	for {
+		select {
+		case rec := <-j.ch:
+			pending = append(pending, rec)
+			drain()
+			if len(pending) >= j.opts.FlushBatch {
+				flush()
+			}
+		case <-ticker.C:
+			flush()
+		case ack := <-j.sync:
+			drain()
+			ack <- j.flushAcked(&pending, &buf)
+		case <-j.quit:
+			drain()
+			flush()
+			return
+		}
+	}
+}
+
+// flushAcked is the Sync path: like flush but the commit error is reported
+// to the caller instead of only counted.
+func (j *Journal) flushAcked(pending *[]Record, buf *[]byte) error {
+	j.maybeRotate() // seal a dirty segment before appending behind its torn tail
+	if len(*pending) == 0 {
+		return nil
+	}
+	b := (*buf)[:0]
+	for _, rec := range *pending {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			continue
+		}
+		b = store.AppendFrame(b, store.PayloadJournal, payload)
+	}
+	*buf = b
+	err := j.fs.AppendFile(j.activePath(), b)
+	j.noteFlush(*pending, int64(len(b)), err)
+	*pending = (*pending)[:0]
+	j.maybeRotate()
+	if err != nil {
+		return fmt.Errorf("journal: flush: %w", err)
+	}
+	return nil
+}
+
+// noteFlush books one commit attempt. A failed append may have torn the
+// active segment's tail, so the segment is marked dirty and the next
+// maybeRotate seals it — appending more frames after a torn one would make
+// the committed prefix unreadable.
+func (j *Journal) noteFlush(batch []Record, bytes int64, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.stats.Flushes++
+	if err != nil {
+		j.stats.FlushErrors++
+		j.stats.Dropped += uint64(len(batch))
+		j.activeDirty = true
+		return
+	}
+	j.stats.Persisted += uint64(len(batch))
+	j.active.Records += len(batch)
+	j.active.Bytes += bytes
+	if j.active.FirstUnixMicros == 0 {
+		j.active.FirstUnixMicros = batch[0].UnixMicros
+	}
+	j.active.LastUnixMicros = batch[len(batch)-1].UnixMicros
+}
+
+// maybeRotate seals the active segment when it crossed the size threshold,
+// outlived the age threshold, or took a failed (possibly tearing) append.
+// Called from the writer goroutine only.
+func (j *Journal) maybeRotate() {
+	j.mu.Lock()
+	size := j.active.Bytes
+	records := j.active.Records
+	dirty := j.activeDirty
+	age := j.opts.Now().Sub(j.activeBorn)
+	j.mu.Unlock()
+
+	ageUp := j.opts.SegmentAge > 0 && age >= j.opts.SegmentAge
+	if !(dirty || size >= j.opts.SegmentBytes || (ageUp && records > 0)) {
+		return
+	}
+	if records == 0 && !dirty {
+		// Nothing on disk yet: restart the age clock instead of sealing air.
+		j.mu.Lock()
+		j.activeBorn = j.opts.Now()
+		j.mu.Unlock()
+		return
+	}
+
+	j.mu.Lock()
+	sealedInfo := j.active
+	sealedInfo.Sealed = true
+	if records > 0 {
+		j.sealed = append(j.sealed, sealedInfo)
+	}
+	j.stats.Rotations++
+	j.active = SegmentInfo{Number: j.nextSeg, Path: j.segPath(j.nextSeg)}
+	j.nextSeg++
+	j.activeBorn = j.opts.Now()
+	j.activeDirty = false
+	cb := j.opts.OnRotate
+	j.mu.Unlock()
+
+	if records == 0 {
+		// The segment holds nothing but the torn tail of a failed flush.
+		// Delete the shell instead of tracking it: retention GC must never
+		// count garbage against the horizon and evict a real segment for it.
+		// Best-effort — recovery truncates and removes leftovers anyway.
+		j.fs.RemoveAll(sealedInfo.Path) //nolint:errcheck
+	}
+	if cb != nil && records > 0 {
+		cb(sealedInfo)
+	}
+	j.gc()
+}
+
+// gc removes sealed segments beyond the retention horizon, oldest first.
+// Called from the writer goroutine only.
+func (j *Journal) gc() {
+	if j.opts.Retain < 0 {
+		return
+	}
+	j.mu.Lock()
+	excess := len(j.sealed) - j.opts.Retain
+	var victims []SegmentInfo
+	if excess > 0 {
+		victims = append(victims, j.sealed[:excess]...)
+	}
+	j.mu.Unlock()
+	removed := 0
+	for _, v := range victims {
+		if err := j.fs.RemoveAll(v.Path); err != nil {
+			break // keep the prefix intact; retried on the next rotation
+		}
+		removed++
+	}
+	if removed > 0 {
+		j.mu.Lock()
+		j.sealed = append([]SegmentInfo(nil), j.sealed[removed:]...)
+		j.stats.GCRemoved += removed
+		j.mu.Unlock()
+	}
+}
+
+func (j *Journal) activePath() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.active.Path
+}
+
+func (j *Journal) segPath(n uint64) string {
+	return filepath.Join(j.dir, fmt.Sprintf("%s%08d%s", segPrefix, n, segSuffix))
+}
+
+func (j *Journal) bumpNext(n uint64) {
+	if n >= j.nextSeg {
+		j.nextSeg = n + 1
+	}
+}
+
+// parseSegNumber extracts the segment number from "<prefix>NNNNNNNN.qfej".
+func parseSegNumber(name, prefix string) (uint64, bool) {
+	digits := strings.TrimPrefix(name, prefix)
+	digits = strings.TrimSuffix(digits, segSuffix)
+	if digits == "" {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + uint64(c-'0')
+		if n > 1<<62 {
+			return 0, false
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,238 @@
+// Package replay scores estimators against the real traffic captured by
+// the feedback journal, closing the loop the synthetic workloads cannot:
+// estimator rankings flip between synthetic and production query
+// distributions, so the journal's labeled records — not generated ones —
+// are what publish gates and offline comparisons should run on.
+//
+// Three tools live here:
+//
+//   - Replay streams journaled records through any estimator and produces a
+//     q-error report (median/p95/max, per-table breakdowns) from the
+//     client-reported actuals;
+//   - DeriveCanary turns recent labeled traffic into a workload.Set via a
+//     deterministic reservoir sample, ready to drop into serve's canary
+//     gate;
+//   - ActualIndex is a bounded fingerprint → actual-cardinality map the
+//     retrainer consults to label queries from journaled feedback before
+//     paying for exact execution.
+package replay
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"qfe/internal/core"
+	"qfe/internal/estimator"
+	"qfe/internal/journal"
+	"qfe/internal/metrics"
+	"qfe/internal/sqlparse"
+	"qfe/internal/workload"
+)
+
+// TableStats is the q-error breakdown for one table combination.
+type TableStats struct {
+	Queries int     `json:"queries"`
+	Median  float64 `json:"median"`
+	P95     float64 `json:"p95"`
+	Max     float64 `json:"max"`
+}
+
+// Report is the outcome of replaying a record stream through one estimator.
+type Report struct {
+	Model string `json:"model"`
+	// Records is how many journal records the replay saw.
+	Records int `json:"records"`
+	// Unlabeled records carry no actual and cannot be scored.
+	Unlabeled int `json:"unlabeled"`
+	// Unparsed records carry SQL that no longer parses (or empty SQL).
+	Unparsed int `json:"unparsed"`
+	// Failed estimates (errors, cancellations) score as +Inf q-error.
+	Failed int `json:"failed"`
+	// Scored is how many q-errors the summary aggregates.
+	Scored int     `json:"scored"`
+	Median float64 `json:"median"`
+	P95    float64 `json:"p95"`
+	Max    float64 `json:"max"`
+	// PerTable breaks the q-errors down by the query's FROM list
+	// (comma-joined, as rendered by sqlparse).
+	PerTable map[string]TableStats `json:"perTable,omitempty"`
+}
+
+// Replay estimates every labeled record with est and aggregates q-errors
+// against the journaled actuals. Replay order is the journal's (oldest
+// first), so the report is deterministic for a fixed estimator and stream.
+// A cancelled context fails the remaining records rather than aborting: the
+// report always accounts for every record it was given.
+func Replay(ctx context.Context, est estimator.Estimator, records []journal.Record) Report {
+	rep := Report{Model: est.Name(), Records: len(records), PerTable: map[string]TableStats{}}
+	var all []float64
+	perTable := map[string][]float64{}
+	for _, rec := range records {
+		if !rec.HasActual {
+			rep.Unlabeled++
+			continue
+		}
+		q, err := sqlparse.Parse(rec.SQL)
+		if err != nil {
+			rep.Unparsed++
+			continue
+		}
+		qerr := math.Inf(1)
+		e, err := estimator.EstimateWithContext(ctx, est, q)
+		if err != nil {
+			rep.Failed++
+		} else {
+			qerr = metrics.QError(rec.Actual, e)
+		}
+		all = append(all, qerr)
+		key := tableKey(q)
+		perTable[key] = append(perTable[key], qerr)
+	}
+	rep.Scored = len(all)
+	rep.Median, rep.P95, rep.Max = summarize(all)
+	for key, errs := range perTable {
+		med, p95, max := summarize(errs)
+		rep.PerTable[key] = TableStats{Queries: len(errs), Median: med, P95: p95, Max: max}
+	}
+	return rep
+}
+
+func tableKey(q *sqlparse.Query) string {
+	if len(q.Tables) == 0 {
+		return "(none)"
+	}
+	if len(q.Tables) == 1 {
+		return q.Tables[0]
+	}
+	tables := append([]string(nil), q.Tables...)
+	sort.Strings(tables)
+	key := tables[0]
+	for _, t := range tables[1:] {
+		key += "," + t
+	}
+	return key
+}
+
+func summarize(errs []float64) (median, p95, max float64) {
+	if len(errs) == 0 {
+		return 0, 0, 0
+	}
+	for _, e := range errs {
+		if e > max || math.IsInf(e, 1) {
+			max = e
+		}
+	}
+	return metrics.Quantile(errs, 0.5), metrics.Quantile(errs, 0.95), max
+}
+
+// DeriveCanary reservoir-samples up to n labeled queries from records into
+// a canary workload.Set. The sample is deterministic for a fixed record
+// stream, n, and seed (Vitter's algorithm R over the eligible records, in
+// journal order), so two recoveries of the same journal derive the same
+// canary. Records are eligible when they carry an actual of at least one
+// row (the q-error convention scores only non-empty results), parse, and
+// are the first occurrence of their fingerprint — real traffic repeats
+// queries, and a canary of thirty copies of one hot query gates nothing.
+func DeriveCanary(records []journal.Record, n int, seed int64) workload.Set {
+	if n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	reservoir := make(workload.Set, 0, n)
+	eligible := 0
+	for _, rec := range records {
+		if !rec.HasActual || rec.Actual < 1 || rec.Actual != math.Trunc(rec.Actual) {
+			continue
+		}
+		q, err := sqlparse.Parse(rec.SQL)
+		if err != nil {
+			continue
+		}
+		fp := rec.Fingerprint
+		if fp == "" {
+			fp = core.Fingerprint(q)
+		}
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		labeled := workload.Labeled{Query: q, Card: int64(rec.Actual)}
+		eligible++
+		if len(reservoir) < n {
+			reservoir = append(reservoir, labeled)
+			continue
+		}
+		if k := rng.Intn(eligible); k < n {
+			reservoir[k] = labeled
+		}
+	}
+	return reservoir
+}
+
+// ActualIndex is a bounded fingerprint → actual-cardinality index over
+// journaled feedback. The retrainer consults it to label queries for free
+// before falling back to exact execution; the serving layer feeds it from
+// live feedback events. When full, new fingerprints are dropped (the
+// retrainer's fallback path still labels them) while known fingerprints
+// keep updating to the freshest actual.
+type ActualIndex struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]int64
+}
+
+// NewActualIndex returns an index holding at most capacity fingerprints.
+// capacity <= 0 means the default 65536.
+func NewActualIndex(capacity int) *ActualIndex {
+	if capacity <= 0 {
+		capacity = 65536
+	}
+	return &ActualIndex{cap: capacity, m: make(map[string]int64)}
+}
+
+// Put records the actual cardinality for a fingerprint. Non-negative
+// integral actuals only; anything else is ignored.
+func (ix *ActualIndex) Put(fingerprint string, actual float64) {
+	if fingerprint == "" || !(actual >= 0) || actual != math.Trunc(actual) || actual > math.MaxInt64 {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.m[fingerprint]; !ok && len(ix.m) >= ix.cap {
+		return
+	}
+	ix.m[fingerprint] = int64(actual)
+}
+
+// PutRecords indexes every labeled record (e.g. a recovered journal).
+func (ix *ActualIndex) PutRecords(records []journal.Record) {
+	for _, rec := range records {
+		if rec.HasActual {
+			ix.Put(rec.Fingerprint, rec.Actual)
+		}
+	}
+}
+
+// Lookup returns the journaled actual for q, keyed by core.Fingerprint.
+func (ix *ActualIndex) Lookup(q *sqlparse.Query) (int64, bool) {
+	return ix.LookupFingerprint(core.Fingerprint(q))
+}
+
+// LookupFingerprint returns the journaled actual for a fingerprint.
+func (ix *ActualIndex) LookupFingerprint(fp string) (int64, bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	v, ok := ix.m[fp]
+	return v, ok
+}
+
+// Len returns how many fingerprints are indexed.
+func (ix *ActualIndex) Len() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.m)
+}

@@ -1,0 +1,179 @@
+package replay_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"qfe/internal/core"
+	"qfe/internal/journal"
+	"qfe/internal/replay"
+	"qfe/internal/sqlparse"
+	"qfe/internal/testutil"
+)
+
+// constEst answers every estimate with a fixed value.
+type constEst float64
+
+func (c constEst) Name() string                              { return "const" }
+func (c constEst) Estimate(*sqlparse.Query) (float64, error) { return float64(c), nil }
+
+// errEst fails every estimate.
+type errEst struct{}
+
+func (errEst) Name() string                              { return "err" }
+func (errEst) Estimate(*sqlparse.Query) (float64, error) { return 0, errors.New("boom") }
+
+func labeledRec(i int, actual float64) journal.Record {
+	return journal.Record{
+		UnixMicros: int64(i) + 1,
+		SQL:        fmt.Sprintf("SELECT count(*) FROM t WHERE a >= %d", i),
+		Actual:     actual,
+		HasActual:  true,
+	}
+}
+
+func TestReplayReport(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	records := []journal.Record{
+		labeledRec(0, 10),   // q-error 1 against constEst(10)
+		labeledRec(1, 10),   // q-error 1
+		labeledRec(2, 1000), // q-error 100
+		{UnixMicros: 4, SQL: "SELECT count(*) FROM t WHERE a >= 4", Estimate: 5}, // unlabeled
+		{UnixMicros: 5, SQL: "this is not SQL", Actual: 3, HasActual: true},      // unparseable
+	}
+	rep := replay.Replay(context.Background(), constEst(10), records)
+	if rep.Model != "const" {
+		t.Errorf("Model = %q, want the estimator's name", rep.Model)
+	}
+	if rep.Records != 5 || rep.Scored != 3 || rep.Unlabeled != 1 || rep.Unparsed != 1 || rep.Failed != 0 {
+		t.Fatalf("accounting = %+v, want 5 records / 3 scored / 1 unlabeled / 1 unparsed", rep)
+	}
+	if rep.Median != 1 || rep.Max != 100 {
+		t.Errorf("median %v / max %v, want 1 / 100 over q-errors {1,1,100}", rep.Median, rep.Max)
+	}
+	ts, ok := rep.PerTable["t"]
+	if !ok || ts.Queries != 3 || ts.Max != 100 {
+		t.Errorf("PerTable[t] = %+v (ok=%v), want all 3 scored queries", ts, ok)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	records := make([]journal.Record, 40)
+	for i := range records {
+		records[i] = labeledRec(i, float64(i%7)+1)
+	}
+	a := replay.Replay(context.Background(), constEst(4), records)
+	b := replay.Replay(context.Background(), constEst(4), records)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two replays of the same stream differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestReplayScoresFailuresAsInf(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	records := []journal.Record{labeledRec(0, 10), labeledRec(1, 10)}
+	rep := replay.Replay(context.Background(), errEst{}, records)
+	if rep.Failed != 2 || rep.Scored != 2 {
+		t.Fatalf("accounting = %+v, want both records failed AND scored", rep)
+	}
+	if !math.IsInf(rep.Max, 1) {
+		t.Errorf("Max = %v, want +Inf for failed estimates", rep.Max)
+	}
+}
+
+func TestDeriveCanaryDeterministicAndDeduplicated(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	records := make([]journal.Record, 0, 60)
+	for i := 0; i < 30; i++ {
+		records = append(records, labeledRec(i, float64(i)+1))
+		// Real traffic repeats: every query appears twice (same fingerprint).
+		records = append(records, labeledRec(i, float64(i)+1))
+	}
+	a := replay.DeriveCanary(records, 10, 42)
+	b := replay.DeriveCanary(records, 10, 42)
+	if len(a) != 10 {
+		t.Fatalf("canary holds %d queries, want 10", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("derivations differ in size: %d vs %d", len(a), len(b))
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i].Query.String() != b[i].Query.String() || a[i].Card != b[i].Card {
+			t.Fatalf("derivation is not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+		fp := core.Fingerprint(a[i].Query)
+		if seen[fp] {
+			t.Fatalf("canary holds fingerprint %s twice", fp)
+		}
+		seen[fp] = true
+	}
+}
+
+func TestDeriveCanaryEligibility(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	records := []journal.Record{
+		labeledRec(0, 5), // the only eligible record
+		{UnixMicros: 2, SQL: "SELECT count(*) FROM t WHERE a >= 90", Estimate: 5},                  // no actual
+		{UnixMicros: 3, SQL: "SELECT count(*) FROM t WHERE a >= 91", Actual: 0, HasActual: true},   // empty result: q-error convention needs >= 1
+		{UnixMicros: 4, SQL: "SELECT count(*) FROM t WHERE a >= 92", Actual: 2.5, HasActual: true}, // fractional actual
+		{UnixMicros: 5, SQL: "not sql at all", Actual: 3, HasActual: true},                         // unparseable
+	}
+	ws := replay.DeriveCanary(records, 10, 1)
+	if len(ws) != 1 || ws[0].Card != 5 {
+		t.Fatalf("canary = %v, want exactly the one eligible record (card 5)", ws)
+	}
+	if got := replay.DeriveCanary(records, 0, 1); got != nil {
+		t.Errorf("DeriveCanary(n=0) = %v, want nil", got)
+	}
+}
+
+func TestActualIndexBoundedAndPicky(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	ix := replay.NewActualIndex(2)
+	ix.Put("a", 10)
+	ix.Put("b", 20)
+	ix.Put("c", 30) // over capacity: dropped
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d, want the 2-entry cap honored", ix.Len())
+	}
+	if _, ok := ix.LookupFingerprint("c"); ok {
+		t.Error("over-cap fingerprint was admitted")
+	}
+	ix.Put("a", 11) // known fingerprints keep updating at capacity
+	if v, ok := ix.LookupFingerprint("a"); !ok || v != 11 {
+		t.Errorf("LookupFingerprint(a) = (%d, %v), want the refreshed 11", v, ok)
+	}
+	ix.Put("", 5)    // no fingerprint
+	ix.Put("d", -1)  // negative
+	ix.Put("d", 1.5) // fractional
+	ix.Put("d", math.NaN())
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d after rejected puts, want 2", ix.Len())
+	}
+
+	// Lookup keys by core.Fingerprint of the parsed query, matching how the
+	// serving layer fed the index.
+	q, err := sqlparse.Parse("SELECT count(*) FROM t WHERE a >= 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := replay.NewActualIndex(0)
+	big.PutRecords([]journal.Record{{
+		SQL: "SELECT count(*) FROM t WHERE a >= 1", Fingerprint: core.Fingerprint(q),
+		Actual: 77, HasActual: true,
+	}})
+	if v, ok := big.Lookup(q); !ok || v != 77 {
+		t.Fatalf("Lookup = (%d, %v), want the journaled 77", v, ok)
+	}
+	// An explicit zero actual is legitimate feedback and indexable.
+	big.Put("zero", 0)
+	if v, ok := big.LookupFingerprint("zero"); !ok || v != 0 {
+		t.Errorf("zero actual = (%d, %v), want (0, true)", v, ok)
+	}
+}

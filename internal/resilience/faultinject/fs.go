@@ -200,6 +200,21 @@ func (f *FS) WriteFile(path string, data []byte) error {
 	return f.base.WriteFile(path, data)
 }
 
+// AppendFile implements store.FS with torn-write and ENOSPC semantics: a
+// fault firing on an append persists a seed-chosen strict prefix of the
+// batch behind whatever the file already held — exactly the torn tail a
+// power loss mid-append leaves in a journal segment.
+func (f *FS) AppendFile(path string, data []byte) error {
+	tearAt, err := f.mutate(len(data))
+	if err != nil {
+		if tearAt >= 0 {
+			f.base.AppendFile(path, data[:tearAt]) //nolint:errcheck // the op already failed
+		}
+		return err
+	}
+	return f.base.AppendFile(path, data)
+}
+
 // Rename implements store.FS.
 func (f *FS) Rename(oldPath, newPath string) error {
 	if _, err := f.mutate(-1); err != nil {

@@ -6,20 +6,44 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
-
-	"qfe/internal/sqlparse"
 )
 
 func TestFiniteActual(t *testing.T) {
+	if !finiteActual(nil) {
+		t.Error("finiteActual(nil) = false, want true (absent feedback is fine)")
+	}
 	for _, v := range []float64{0, -1, 1, 1e308} {
-		if !finiteActual(v) {
+		v := v
+		if !finiteActual(&v) {
 			t.Errorf("finiteActual(%v) = false, want true", v)
 		}
 	}
 	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
-		if finiteActual(v) {
+		v := v
+		if finiteActual(&v) {
 			t.Errorf("finiteActual(%v) = true, want false", v)
 		}
+	}
+}
+
+// TestActualValue pins the has-actual decision table: nil and negative mean
+// "no feedback", while an explicit zero is a genuine empty result — the
+// exact ambiguity the pointer-typed wire field exists to remove.
+func TestActualValue(t *testing.T) {
+	if v, ok := actualValue(nil); ok || v != 0 {
+		t.Errorf("actualValue(nil) = (%v, %v), want (0, false)", v, ok)
+	}
+	neg := -1.0
+	if v, ok := actualValue(&neg); ok || v != 0 {
+		t.Errorf("actualValue(-1) = (%v, %v), want (0, false)", v, ok)
+	}
+	zero := 0.0
+	if v, ok := actualValue(&zero); !ok || v != 0 {
+		t.Errorf("actualValue(0) = (%v, %v), want (0, true): explicit zero IS feedback", v, ok)
+	}
+	pos := 21.0
+	if v, ok := actualValue(&pos); !ok || v != 21 {
+		t.Errorf("actualValue(21) = (%v, %v), want (21, true)", v, ok)
 	}
 }
 
@@ -46,16 +70,12 @@ func TestEstimateRejectsNonFiniteActual(t *testing.T) {
 }
 
 func TestFeedbackHookObservesServedQueries(t *testing.T) {
-	type obs struct {
-		tables      int
-		est, actual float64
-	}
 	var mu sync.Mutex
-	var seen []obs
+	var seen []FeedbackEvent
 	srv := newStubServer(t, constEst(42), func(cfg *Config) {
-		cfg.Feedback = func(q *sqlparse.Query, est, actual float64) {
+		cfg.Feedback = func(ev FeedbackEvent) {
 			mu.Lock()
-			seen = append(seen, obs{tables: len(q.Tables), est: est, actual: actual})
+			seen = append(seen, ev)
 			mu.Unlock()
 		}
 	})
@@ -66,29 +86,55 @@ func TestFeedbackHookObservesServedQueries(t *testing.T) {
 	}
 	if code, _ := postJSON(t, h, "/v1/estimate", map[string]any{"queries": []map[string]any{
 		{"sql": stubSQL, "actual": 21},
-		{"sql": stubSQL}, // no feedback: hook still sees the query with actual 0
+		{"sql": stubSQL, "actual": 0}, // explicit zero: genuine empty-result feedback
+		{"sql": stubSQL},              // absent: the hook still sees the query, without an actual
 	}}); code != http.StatusOK {
 		t.Fatalf("batch estimate status %d", code)
 	}
 
 	mu.Lock()
 	defer mu.Unlock()
-	if len(seen) != 3 {
-		t.Fatalf("feedback hook saw %d queries, want 3", len(seen))
+	if len(seen) != 4 {
+		t.Fatalf("feedback hook saw %d queries, want 4", len(seen))
 	}
-	if seen[0].est != 42 || seen[0].actual != 84 {
-		t.Errorf("single feedback = %+v, want est 42 actual 84", seen[0])
+	first := seen[0]
+	if first.Estimate != 42 || first.Actual != 84 || !first.HasActual {
+		t.Errorf("single feedback = %+v, want est 42 actual 84 hasActual", first)
 	}
-	actuals := map[float64]bool{seen[1].actual: true, seen[2].actual: true}
-	if !actuals[21] || !actuals[0] {
-		t.Errorf("batch feedback actuals = %+v, want {21, 0}", actuals)
+	if first.SQL != stubSQL || first.Query == nil || len(first.Query.Tables) != 1 {
+		t.Errorf("single feedback carries SQL %q query %v, want the served query", first.SQL, first.Query)
+	}
+	if first.Model == "" {
+		t.Errorf("single feedback carries no model name")
+	}
+	// The three batch events, in some order: actual 21, explicit zero, and
+	// one without feedback. The zero-actual event must be distinguishable
+	// from the no-feedback one ONLY via HasActual — both carry Actual == 0.
+	type key struct {
+		actual    float64
+		hasActual bool
+	}
+	got := map[key]int{}
+	for _, ev := range seen[1:] {
+		got[key{ev.Actual, ev.HasActual}]++
+	}
+	want := map[key]int{
+		{21, true}: 1,
+		{0, true}:  1,
+		{0, false}: 1,
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("batch feedback events = %v, want %v", got, want)
+			break
+		}
 	}
 }
 
 func TestFeedbackHookSkipsFailedEstimates(t *testing.T) {
 	var calls int
 	srv := newStubServer(t, errEst{}, func(cfg *Config) {
-		cfg.Feedback = func(*sqlparse.Query, float64, float64) { calls++ }
+		cfg.Feedback = func(FeedbackEvent) { calls++ }
 	})
 	postJSON(t, srv.Handler(), "/v1/estimate", map[string]any{"sql": stubSQL, "actual": 10})
 	if calls != 0 {

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"qfe/internal/core"
+	"qfe/internal/journal"
+	"qfe/internal/replay"
+	"qfe/internal/resilience/faultinject"
+	"qfe/internal/store"
+	"qfe/internal/testutil"
+)
+
+// This file is the acceptance test for the feedback-journal subsystem: real
+// traffic with actuals served over a real HTTP listener lands in the
+// journal, a torn-write crash hits mid-segment, recovery loses nothing that
+// was acked, and the recovered journal drives both a deterministic replay
+// report and a traffic-derived canary that gates a Lifecycle publish. A
+// second test pins the shed-not-block contract with the journal wired into
+// the serving feedback path.
+
+// journalTestOptions: all flushing is driven by explicit Sync calls so the
+// fault-injection op ordinals are deterministic.
+func journalTestOptions(fsys store.FS) journal.Options {
+	return journal.Options{
+		SegmentBytes: 1 << 30,
+		SegmentAge:   -1,
+		Retain:       -1,
+		Queue:        256,
+		FlushBatch:   4096,
+		FlushEvery:   time.Hour,
+		FS:           fsys,
+	}
+}
+
+// journalFeedback adapts serve feedback events into journal records exactly
+// the way cmd/cardestd wires it.
+func journalFeedback(jnl *journal.Journal) func(FeedbackEvent) {
+	return func(ev FeedbackEvent) {
+		jnl.Append(journal.Record{
+			SQL:           ev.SQL,
+			Fingerprint:   core.Fingerprint(ev.Query),
+			Model:         ev.Model,
+			Generation:    ev.Generation,
+			Estimate:      ev.Estimate,
+			Actual:        ev.Actual,
+			HasActual:     ev.HasActual,
+			LatencyMicros: ev.Latency.Microseconds(),
+		})
+	}
+}
+
+func e2eSQL(i int) string { return fmt.Sprintf("SELECT count(*) FROM t WHERE a >= %d", i) }
+
+// postEstimate fires one estimate with an actual over a real TCP listener.
+func postEstimate(t *testing.T, url string, i int) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"sql": e2eSQL(i), "actual": i + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/estimate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("estimate %d over the listener: %v", i, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate %d: status %d", i, resp.StatusCode)
+	}
+}
+
+func TestJournalFeedbackEndToEnd(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	// Fault plan: op 1 is MkdirAll, op 2 commits the first batch, op 3 —
+	// the second batch's append — tears mid-write: a power loss mid-segment.
+	fi := faultinject.NewFS(nil, faultinject.FSConfig{Seed: 3, Kind: faultinject.FSTornWrite, Op: 3})
+	jnl, err := journal.Open(dir, journalTestOptions(fi))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := newStubServer(t, constEst(8), func(cfg *Config) {
+		cfg.Feedback = journalFeedback(jnl)
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 12; i++ {
+		postEstimate(t, ts.URL, i)
+	}
+	if err := jnl.Sync(); err != nil {
+		t.Fatalf("Sync of the first batch: %v", err)
+	}
+	acked := jnl.Stats().Persisted
+	if acked != 12 {
+		t.Fatalf("first batch persisted %d records, want 12", acked)
+	}
+	for i := 12; i < 16; i++ {
+		postEstimate(t, ts.URL, i)
+	}
+	if err := jnl.Sync(); err == nil {
+		t.Fatal("Sync across the torn write reported success")
+	}
+	jnl.Close() // the process "dies" with a torn tail mid-segment
+
+	// Recovery on a healthy filesystem: zero acked records lost, nothing
+	// torn resurrected.
+	jnl2, err := journal.Open(dir, journalTestOptions(nil))
+	if err != nil {
+		t.Fatalf("recovery Open: %v", err)
+	}
+	defer jnl2.Close()
+	recs, err := jnl2.ReadSealed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFirstPredicate := map[string]journal.Record{}
+	for _, rec := range recs {
+		byFirstPredicate[rec.SQL] = rec
+	}
+	for i := 0; i < 12; i++ {
+		rec, ok := byFirstPredicate[e2eSQL(i)]
+		if !ok {
+			t.Fatalf("acked record %d lost in recovery (recovered %d total)", i, len(recs))
+		}
+		if !rec.HasActual || rec.Actual != float64(i)+1 || rec.Estimate != 8 || rec.Model == "" || rec.Fingerprint == "" {
+			t.Fatalf("record %d recovered damaged: %+v", i, rec)
+		}
+	}
+	for _, rec := range recs {
+		var i int
+		if _, err := fmt.Sscanf(rec.SQL, "SELECT count(*) FROM t WHERE a >= %d", &i); err != nil || i < 0 || i >= 16 {
+			t.Fatalf("recovery resurrected a record that was never served: %+v", rec)
+		}
+	}
+
+	// Deterministic replay report over the recovered traffic.
+	repA := replay.Replay(context.Background(), constEst(8), recs)
+	repB := replay.Replay(context.Background(), constEst(8), recs)
+	if !reflect.DeepEqual(repA, repB) {
+		t.Fatalf("replay over recovered journal is not deterministic:\n%+v\n%+v", repA, repB)
+	}
+	if repA.Scored < 12 || repA.Unparsed != 0 {
+		t.Fatalf("replay report %+v, want every recovered record scored", repA)
+	}
+
+	// Traffic-derived canary gating a Lifecycle publish. Actuals are 1..16
+	// against constEst(8), so the honest model's q-errors top out at 8 —
+	// inside the default ceilings — while the broken one fails by miles.
+	canary := replay.DeriveCanary(recs, 8, 7)
+	if len(canary) == 0 {
+		t.Fatal("derived an empty canary from recovered traffic")
+	}
+	lc, err := NewLifecycle(LifecycleConfig{Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.SetCanaryWorkload(context.Background(), canary); err != nil {
+		t.Fatalf("SetCanaryWorkload: %v", err)
+	}
+	if lc.CanaryWorkloadSize() != len(canary) {
+		t.Fatalf("canary workload size %d, want %d", lc.CanaryWorkloadSize(), len(canary))
+	}
+	pub, err := lc.Publish(context.Background(), PublishSpec{Name: "good", Est: constEst(8), MakeDefault: true})
+	if err != nil || !pub.Canary.Pass {
+		t.Fatalf("honest model rejected by the traffic canary: %+v, %v", pub.Canary, err)
+	}
+	_, err = lc.Publish(context.Background(), PublishSpec{Name: "bad", Est: constEst(1e9), MakeDefault: true})
+	if !errors.Is(err, ErrCanaryRejected) {
+		t.Fatalf("broken model passed the traffic canary (err %v)", err)
+	}
+	// Swapping in an empty canary must be refused — it would unlock the gate.
+	if err := lc.SetCanaryWorkload(context.Background(), nil); err == nil {
+		t.Fatal("empty canary workload accepted")
+	}
+}
+
+// wedgeFS blocks every AppendFile until gate closes (signalling on entered),
+// modeling a hung disk under the serving path.
+type wedgeFS struct {
+	store.FS
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func (w *wedgeFS) AppendFile(path string, data []byte) error {
+	select {
+	case w.entered <- struct{}{}:
+	default:
+	}
+	<-w.gate
+	return w.FS.AppendFile(path, data)
+}
+
+func TestJournalWedgedDiskShedsNotBlocks(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	fsys := &wedgeFS{FS: store.OSFS(), entered: make(chan struct{}, 16), gate: make(chan struct{})}
+	opts := journalTestOptions(fsys)
+	opts.Queue = 1
+	opts.FlushBatch = 1
+	jnl, err := journal.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			close(fsys.gate)
+		}
+	}
+	defer func() { release(); jnl.Close() }()
+
+	srv := newStubServer(t, constEst(8), func(cfg *Config) {
+		cfg.Feedback = journalFeedback(jnl)
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// First request parks the writer inside the wedged AppendFile.
+	postEstimate(t, ts.URL, 0)
+	select {
+	case <-fsys.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("journal writer never reached the disk")
+	}
+	// Every further request must be served promptly — the journal sheds;
+	// serving latency must not inherit the disk's.
+	start := time.Now()
+	for i := 1; i <= 8; i++ {
+		postEstimate(t, ts.URL, i)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("8 estimates over a wedged journal took %v; feedback must shed, not block", elapsed)
+	}
+	s := jnl.Stats()
+	if s.Shed == 0 {
+		t.Fatalf("stats = %+v, want sheds recorded while the disk hangs", s)
+	}
+	if s.Appended+s.Shed != 9 {
+		t.Fatalf("stats = %+v, want all 9 feedback events accounted (appended+shed)", s)
+	}
+	release() // disk recovers; whatever was accepted drains without loss
+	if err := jnl.Sync(); err != nil {
+		t.Fatalf("Sync after the disk recovered: %v", err)
+	}
+	if got := jnl.Stats(); got.Persisted != s.Appended {
+		t.Fatalf("persisted %d of %d accepted records after recovery", got.Persisted, s.Appended)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"qfe/internal/estimator"
 	"qfe/internal/store"
 	"qfe/internal/table"
+	"qfe/internal/workload"
 )
 
 // Lifecycle is the guarded path between a trained model and the registry:
@@ -118,6 +119,51 @@ func (lc *Lifecycle) bindMetrics(m *Metrics) {
 
 // Store returns the backing store (nil when none).
 func (lc *Lifecycle) Store() *store.Store { return lc.st }
+
+// SetCanaryWorkload swaps the canary gate's workload — the traffic-derived
+// refresh path: as the feedback journal rotates segments, the daemon
+// derives a canary set from recent real traffic and installs it here, so
+// publish gates and supervisor probes score candidates on what production
+// actually asks rather than on a synthetic set frozen at boot. An empty
+// workload is refused (it would disable the gate).
+//
+// The live model, when present, is immediately re-scored on the new
+// workload and its baseline replaced: Probe and incumbent-relative publish
+// checks compare medians across runs, which is only meaningful when both
+// ran the same queries. A live model that fails outright on the new
+// workload keeps the old baseline and workload, and the error says so —
+// installing a workload the incumbent cannot pass would make every
+// subsequent probe a rollback.
+func (lc *Lifecycle) SetCanaryWorkload(ctx context.Context, ws workload.Set) error {
+	if len(ws) == 0 {
+		return fmt.Errorf("serve: refusing an empty canary workload")
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	next := lc.canary
+	next.Workload = ws
+	if lc.live.bare != nil {
+		res := RunCanary(ctx, lc.live.bare, next, nil)
+		if !res.Pass {
+			if ctx.Err() != nil {
+				return fmt.Errorf("serve: canary workload swap interrupted: %w", ctx.Err())
+			}
+			return fmt.Errorf("serve: live model fails on the proposed canary workload (%s); keeping the current one", res.Reason)
+		}
+		lc.live.baseline = res
+		canary := res
+		lc.reg.UpdateInfo(lc.live.name, func(info *ModelInfo) { info.Canary = &canary }) //nolint:errcheck // entry may have been replaced concurrently
+	}
+	lc.canary = next
+	return nil
+}
+
+// CanaryWorkloadSize reports the current gate workload's size (status pages).
+func (lc *Lifecycle) CanaryWorkloadSize() int {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return len(lc.canary.Workload)
+}
 
 // Publish runs spec.Est through the canary gate and, on admission,
 // persists the snapshot (when given and a store is configured) and

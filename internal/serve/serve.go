@@ -95,11 +95,13 @@ type Config struct {
 	// active-alarm state here — stale estimates during drift are worse
 	// than recomputation. Must be safe for concurrent use.
 	CacheBypass func() bool
-	// Feedback, when non-nil, observes every successfully estimated query
-	// together with the client-reported true cardinality (0 when the client
-	// reported none). Called synchronously on the request path — keep it
-	// cheap. This is how the drift monitor taps the serving stream.
-	Feedback func(q *sqlparse.Query, estimate, actual float64)
+	// Feedback, when non-nil, observes every successfully estimated query.
+	// The event says explicitly whether the client reported a true
+	// cardinality (HasActual) — an actual of zero rows is real feedback,
+	// distinct from no feedback at all. Called synchronously on the request
+	// path — keep it cheap (the drift monitor taps the stream here, and the
+	// daemon's journal append behind it is a non-blocking enqueue).
+	Feedback func(ev FeedbackEvent)
 	// ExtraMetrics, when non-nil, is merged into the /metrics snapshot;
 	// the server's own keys win on collision. Drift and retraining counters
 	// ride in this way.
@@ -239,20 +241,47 @@ func (w *statusWriter) status() int {
 	return w.code
 }
 
+// FeedbackEvent is one successfully served estimate as observed by
+// Config.Feedback: everything the drift monitor and the feedback journal
+// need, with the has-actual bit made explicit so a genuine zero-row actual
+// is never mistaken for absent feedback.
+type FeedbackEvent struct {
+	// Query is the parsed, bound query.
+	Query *sqlparse.Query
+	// SQL is the query text as the client sent it.
+	SQL string
+	// Model and Generation identify the registry entry that answered.
+	Model      string
+	Generation uint64
+	// Estimate is the cardinality the client received.
+	Estimate float64
+	// Actual is the client-reported true cardinality; meaningful only when
+	// HasActual is set. HasActual with Actual == 0 is a genuine empty
+	// result.
+	Actual    float64
+	HasActual bool
+	// Latency is the server-side estimation time (per-query share for
+	// client batches).
+	Latency time.Duration
+}
+
 // ---- request/response shapes ----
 
 type estimateItem struct {
 	SQL string `json:"sql"`
-	// Actual, when > 0, is the client-reported true cardinality (e.g.
-	// post-execution feedback); the server records the estimate's q-error.
-	Actual float64 `json:"actual,omitempty"`
+	// Actual, when present and >= 0, is the client-reported true
+	// cardinality (post-execution feedback); the server records the
+	// estimate's q-error and forwards it to Config.Feedback. Absent (null)
+	// or negative means no feedback; an explicit 0 is a genuine empty
+	// result.
+	Actual *float64 `json:"actual,omitempty"`
 }
 
 type estimateRequest struct {
 	Model     string         `json:"model,omitempty"`
 	TimeoutMS int64          `json:"timeoutMs,omitempty"`
 	SQL       string         `json:"sql,omitempty"`
-	Actual    float64        `json:"actual,omitempty"`
+	Actual    *float64       `json:"actual,omitempty"`
 	Queries   []estimateItem `json:"queries,omitempty"`
 }
 
@@ -348,7 +377,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		res := s.estimateTimed(ctx, est, info.Generation, q, req.Actual)
+		res := s.estimateTimed(ctx, est, info, q, req.SQL, req.Actual)
 		if res.Error != "" {
 			// The query parsed but could not be estimated (e.g. no model for
 			// its sub-schema): the request, not the server, is at fault.
@@ -382,16 +411,27 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	batchRes := s.estimateBatch(ctx, est, info.Generation, qs)
 	elapsed := time.Since(start)
+	perQuery := elapsed / time.Duration(max(1, len(batchRes)))
 	for j, br := range batchRes {
 		i := idx[j]
-		results[i] = toResult(br, elapsed/time.Duration(max(1, len(batchRes))))
-		s.metrics.observeQuery(elapsed/time.Duration(max(1, len(batchRes))), br.Degraded, br.Err)
+		results[i] = toResult(br, perQuery)
+		s.metrics.observeQuery(perQuery, br.Degraded, br.Err)
 		if br.Err == nil {
-			if req.Queries[i].Actual > 0 {
-				s.metrics.ObserveQError(metrics.QError(req.Queries[i].Actual, br.Estimate))
+			actual, hasActual := actualValue(req.Queries[i].Actual)
+			if hasActual && actual > 0 {
+				s.metrics.ObserveQError(metrics.QError(actual, br.Estimate))
 			}
 			if s.cfg.Feedback != nil {
-				s.cfg.Feedback(qs[j], br.Estimate, req.Queries[i].Actual)
+				s.cfg.Feedback(FeedbackEvent{
+					Query:      qs[j],
+					SQL:        req.Queries[i].SQL,
+					Model:      info.Name,
+					Generation: info.Generation,
+					Estimate:   br.Estimate,
+					Actual:     actual,
+					HasActual:  hasActual,
+					Latency:    perQuery,
+				})
 			}
 		}
 	}
@@ -414,22 +454,32 @@ func (s *Server) activeCache() *estCache {
 // coalescing batcher, and records its metrics. Feedback (drift monitoring,
 // q-error accounting) observes cached answers too: the client still
 // received that estimate, so the detectors must still see it.
-func (s *Server) estimateTimed(ctx context.Context, est estimator.Estimator, gen uint64, q *sqlparse.Query, actual float64) estimateResult {
+func (s *Server) estimateTimed(ctx context.Context, est estimator.Estimator, info ModelInfo, q *sqlparse.Query, sql string, reported *float64) estimateResult {
 	start := time.Now()
 	var br EstResult
 	if c := s.activeCache(); c != nil {
-		br = c.do(ctx, cacheKey(gen, q), func() EstResult { return s.batcher.Do(ctx, est, q) })
+		br = c.do(ctx, cacheKey(info.Generation, q), func() EstResult { return s.batcher.Do(ctx, est, q) })
 	} else {
 		br = s.batcher.Do(ctx, est, q)
 	}
 	elapsed := time.Since(start)
 	s.metrics.observeQuery(elapsed, br.Degraded, br.Err)
 	if br.Err == nil {
-		if actual > 0 {
+		actual, hasActual := actualValue(reported)
+		if hasActual && actual > 0 {
 			s.metrics.ObserveQError(metrics.QError(actual, br.Estimate))
 		}
 		if s.cfg.Feedback != nil {
-			s.cfg.Feedback(q, br.Estimate, actual)
+			s.cfg.Feedback(FeedbackEvent{
+				Query:      q,
+				SQL:        sql,
+				Model:      info.Name,
+				Generation: info.Generation,
+				Estimate:   br.Estimate,
+				Actual:     actual,
+				HasActual:  hasActual,
+				Latency:    elapsed,
+			})
 		}
 	}
 	return toResult(br, elapsed)
@@ -481,10 +531,23 @@ func retryAfterSeconds(d time.Duration) int {
 }
 
 // finiteActual vets a client-reported true cardinality at the ingestion
-// edge. Zero (absent) and negative values are fine — they mean "no
+// edge. Absent (nil) and negative values are fine — they mean "no
 // feedback" — but NaN and ±Inf are malformed.
-func finiteActual(v float64) bool {
-	return !math.IsNaN(v) && !math.IsInf(v, 0)
+func finiteActual(v *float64) bool {
+	return v == nil || (!math.IsNaN(*v) && !math.IsInf(*v, 0))
+}
+
+// actualValue resolves a client-reported actual into (value, hasActual).
+// nil means the field was absent; negative values are the pre-pointer wire
+// convention for "no feedback" and stay that. An explicit zero IS feedback:
+// the query truly returned no rows. This is the single point that decides
+// the has-actual bit — everything downstream (q-error histograms, the drift
+// monitor, the journal) trusts it rather than re-interpreting zero.
+func actualValue(v *float64) (float64, bool) {
+	if v == nil || *v < 0 {
+		return 0, false
+	}
+	return *v, true
 }
 
 func toResult(br EstResult, elapsed time.Duration) estimateResult {

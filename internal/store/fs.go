@@ -20,6 +20,12 @@ type FS interface {
 	// closes. Durability of the byte content is this call's contract; the
 	// directory entry itself is made durable by SyncDir.
 	WriteFile(path string, data []byte) error
+	// AppendFile opens (or creates) path for append, writes data at the
+	// end, fsyncs, and closes. Success means every byte of data is durable
+	// behind whatever the file already held — the feedback journal's batch
+	// commit. A failure may leave a durable prefix of data appended (a torn
+	// batch), which sequential readers detect by frame checks.
+	AppendFile(path string, data []byte) error
 	// ReadFile returns the full content of path.
 	ReadFile(path string) ([]byte, error)
 	// ReadDir returns the names (not paths) of dir's entries.
@@ -43,6 +49,22 @@ func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
 
 func (osFS) WriteFile(path string, data []byte) error {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (osFS) AppendFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}

@@ -62,6 +62,10 @@ const (
 	PayloadSnapshot uint32 = 0
 	// PayloadCheckpoint frames a resumable training checkpoint.
 	PayloadCheckpoint uint32 = 1
+	// PayloadJournal frames one feedback-journal record (internal/journal).
+	// Journal segments are a concatenation of these frames, so a segment can
+	// never be confused with a snapshot or checkpoint even if renamed.
+	PayloadJournal uint32 = 2
 )
 
 const (
@@ -87,6 +91,14 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // ErrUnknownGeneration reports an operation on a generation number that is
 // not in the valid set — never published, already quarantined, or GC'd.
 var ErrUnknownGeneration = errors.New("store: unknown generation")
+
+// ErrTruncatedFrame reports a frame cut short by the end of its buffer: the
+// header or payload extends past the available bytes. For a sequential
+// reader (the feedback journal) this is the torn-tail signal — everything
+// before the truncated frame is intact, the truncated frame itself was
+// never committed — as opposed to the corruption errors (bad magic, CRC
+// mismatch), after which nothing downstream can be trusted.
+var ErrTruncatedFrame = errors.New("store: frame truncated")
 
 // Manifest is the per-generation metadata, written last inside the temp
 // directory so a generation directory always carries a complete manifest.
@@ -442,15 +454,66 @@ func frame(payload []byte) []byte { return frameKind(PayloadSnapshot, payload) }
 
 // frameKind wraps payload in a version-2 envelope carrying the given kind.
 func frameKind(kind uint32, payload []byte) []byte {
-	out := make([]byte, headerSize+len(payload))
-	copy(out[0:4], envelopeMagic)
-	binary.LittleEndian.PutUint32(out[4:8], envelopeVersion)
-	binary.LittleEndian.PutUint32(out[8:12], kind)
-	binary.LittleEndian.PutUint64(out[12:20], uint64(len(payload)))
-	binary.LittleEndian.PutUint32(out[20:24], crc32.Checksum(payload, crcTable))
-	copy(out[headerSize:], payload)
-	return out
+	return AppendFrame(make([]byte, 0, headerSize+len(payload)), kind, payload)
 }
+
+// AppendFrame appends one version-2 QFES envelope (header + payload) to dst
+// and returns the extended slice. Frames written this way back-to-back form
+// a valid sequential stream for NextFrame — the feedback journal's segment
+// format.
+func AppendFrame(dst []byte, kind uint32, payload []byte) []byte {
+	var hdr [headerSize]byte
+	copy(hdr[0:4], envelopeMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], envelopeVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], kind)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// NextFrame parses the first version-2 envelope in buf, requires its payload
+// kind to be wantKind, and returns the payload together with the bytes that
+// follow the frame. A frame cut short by the end of buf — header or payload
+// — returns an error wrapping ErrTruncatedFrame so sequential readers can
+// treat it as a torn tail; every other failure (bad magic, foreign version
+// or kind, checksum mismatch, or an absurd declared length) means the bytes
+// at the front of buf are not a frame prefix at all.
+func NextFrame(buf []byte, wantKind uint32) (payload, rest []byte, err error) {
+	if len(buf) >= 4 && string(buf[0:4]) != envelopeMagic {
+		return nil, nil, fmt.Errorf("store: bad envelope magic %q", buf[0:4])
+	}
+	if len(buf) < headerSize {
+		return nil, nil, fmt.Errorf("%w: %d header bytes of %d", ErrTruncatedFrame, len(buf), headerSize)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:8]); v != envelopeVersion {
+		return nil, nil, fmt.Errorf("store: unsupported envelope version %d (want %d)", v, envelopeVersion)
+	}
+	if kind := binary.LittleEndian.Uint32(buf[8:12]); kind != wantKind {
+		return nil, nil, fmt.Errorf("store: envelope carries payload kind %d, want %d", kind, wantKind)
+	}
+	length := binary.LittleEndian.Uint64(buf[12:20])
+	if length > maxFramePayload {
+		// A declared length this large is bit rot in the header, not a real
+		// record: treating it as truncation would make a torn-tail truncator
+		// discard arbitrarily much committed data behind it.
+		return nil, nil, fmt.Errorf("store: envelope declares %d payload bytes (limit %d)", length, int(maxFramePayload))
+	}
+	if uint64(len(buf)-headerSize) < length {
+		return nil, nil, fmt.Errorf("%w: %d payload bytes of %d", ErrTruncatedFrame, len(buf)-headerSize, length)
+	}
+	payload = buf[headerSize : headerSize+length]
+	want := binary.LittleEndian.Uint32(buf[20:24])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, nil, fmt.Errorf("store: envelope checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
+	return payload, buf[headerSize+length:], nil
+}
+
+// maxFramePayload bounds a single sequential frame's declared payload (64
+// MiB) — far above any journal record, far below anything that could make a
+// corrupt length field look like truncation.
+const maxFramePayload = 64 << 20
 
 // unframe validates a snapshot envelope and returns the payload and its
 // stored CRC.

@@ -221,10 +221,10 @@ func TestSelfHealingRetrainSurvivesChaos(t *testing.T) {
 	// three-orders-of-magnitude q-errors until the alarm fires.
 	q := env.train[0].Query
 	for i := 0; i < 6; i++ {
-		mon.ObserveFeedback(q, 100, 100)
+		mon.ObserveFeedback(q, 100, 100, true)
 	}
 	for i := 0; i < 20; i++ {
-		mon.ObserveFeedback(q, 1, 1e6)
+		mon.ObserveFeedback(q, 1, 1e6, true)
 		if _, ok := sup.Job("retrain"); ok {
 			break
 		}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"qfe/internal/estimator"
 	"qfe/internal/exec"
@@ -39,6 +40,11 @@ type RetrainConfig struct {
 	CheckpointEvery int
 	// Workers bounds labeling and training goroutines; 0 means one per CPU.
 	Workers int
+	// ActualLookup, when non-nil, is consulted per query before the exact
+	// executor: a hit (a true cardinality journaled from live feedback)
+	// labels the query for free. Misses fall back to CountManyResume as
+	// before. The daemon wires the feedback journal's actual index here.
+	ActualLookup func(q *sqlparse.Query) (int64, bool)
 }
 
 func (c *RetrainConfig) withDefaults() error {
@@ -86,7 +92,21 @@ const (
 // durable checkpoint.
 type Retrainer struct {
 	cfg RetrainConfig
+
+	journalLabels atomic.Uint64
 }
+
+// noteJournalLabels accumulates how many labels came from journaled
+// feedback instead of exact execution.
+func (r *Retrainer) noteJournalLabels(n int) {
+	if n > 0 {
+		r.journalLabels.Add(uint64(n))
+	}
+}
+
+// JournalLabels reports how many training labels, across all attempts, were
+// satisfied from journaled feedback instead of exact COUNT(*) execution.
+func (r *Retrainer) JournalLabels() uint64 { return r.journalLabels.Load() }
 
 // NewRetrainer validates cfg and returns a Retrainer.
 func NewRetrainer(cfg RetrainConfig) (*Retrainer, error) {
@@ -155,6 +175,23 @@ func (r *Retrainer) label(ctx context.Context, ck *jobCheckpoint) ([]int64, erro
 	}
 	if ck.Phase == phaseTrain {
 		return labels, nil // labeling finished in a previous attempt
+	}
+
+	if r.cfg.ActualLookup != nil {
+		// Journaled feedback first: every hit is one exact COUNT(*) the
+		// labeling pass no longer pays for. Only still-unlabeled slots are
+		// consulted, so resumed checkpoints keep their earlier labels.
+		hits := 0
+		for i, q := range r.cfg.Queries {
+			if labels[i] >= 0 {
+				continue
+			}
+			if card, ok := r.cfg.ActualLookup(q); ok && card >= 0 {
+				labels[i] = card
+				hits++
+			}
+		}
+		r.noteJournalLabels(hits)
 	}
 
 	cache := exec.NewPredCache(0)
