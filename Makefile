@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check ci serve-smoke fmt fuzz fuzz-serve fuzz-store fuzz-journal soak bench bench-cache bench-journal chaos-train lint
+.PHONY: build test vet race check ci serve-smoke fmt fuzz fuzz-serve fuzz-store fuzz-journal soak bench bench-cache bench-journal bench-infer chaos-train lint
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,7 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race -short ./...
 	$(GO) test -fuzz=FuzzJournalRead -fuzztime=5s ./internal/journal
+	$(GO) run ./cmd/infbench -quick -out BENCH_infer.quick.json
 	$(MAKE) lint
 
 # lint runs the optional static analyzers. Both are gated on availability:
@@ -77,6 +78,15 @@ bench-cache:
 # disk, real fsyncs; writes BENCH_journal.json.
 bench-journal:
 	$(GO) run ./cmd/journalbench -out BENCH_journal.json
+
+# bench-infer measures the compiled inference fast path against the
+# pre-flattening reference implementations — gb/nn single-vector predict,
+# featurization into a reused buffer, and the amortized estimator batch
+# path — and writes the before/after report to BENCH_infer.json. All fast
+# paths are bit-identical to their references (see the differential tests
+# next to each); the report compares wall-clock and steady-state allocations.
+bench-infer:
+	$(GO) run ./cmd/infbench -out BENCH_infer.json
 
 fmt:
 	gofmt -l -w .

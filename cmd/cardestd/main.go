@@ -9,7 +9,7 @@
 //	         [-qft conjunctive] [-model GB] [-train 2000] [-rows 20000]
 //	         [-entries 32] [-seed 1] [-workers 0] [-save file]
 //	         [-timeout 100ms] [-fallback] [-max-batch 16] [-batch-delay 2ms]
-//	         [-max-inflight 64] [-drain-timeout 10s] [-smoke]
+//	         [-max-inflight 64] [-drain-timeout 10s] [-smoke] [-pprof addr]
 //	         [-cache-entries 4096] [-cache-off]
 //	         [-store dir] [-canary 200] [-canary-median 10] [-canary-p95 100]
 //	         [-probe-interval 30s] [-model-root dir]
@@ -101,6 +101,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -141,6 +142,7 @@ type options struct {
 	maxInFly   int
 	drainTO    time.Duration
 	smoke      bool
+	pprofAddr  string
 
 	cacheEntries int
 	cacheOff     bool
@@ -185,6 +187,7 @@ func main() {
 	flag.IntVar(&o.maxInFly, "max-inflight", 64, "concurrent estimate requests admitted before shedding with 429")
 	flag.DurationVar(&o.drainTO, "drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM")
 	flag.BoolVar(&o.smoke, "smoke", false, "run the self-test (random port, batched estimate, metrics scrape) and exit")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; empty disables)")
 	flag.IntVar(&o.cacheEntries, "cache-entries", 4096, "generation-scoped estimate cache capacity (semantic fingerprint keys)")
 	flag.BoolVar(&o.cacheOff, "cache-off", false, "disable the estimate cache (every request pays full featurize+inference)")
 	flag.StringVar(&o.storeDir, "store", "", "crash-safe model store directory (enables canary-gated publishes, recovery, and rollback)")
@@ -602,6 +605,20 @@ func listenAndServe(srv *serve.Server, o options, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// -pprof exposes the profiling handlers on their own listener, never on
+	// the serving address, so the fast path can be profiled in production
+	// without widening the public API surface. Off by default.
+	if o.pprofAddr != "" {
+		pp := &http.Server{Addr: o.pprofAddr, Handler: pprofMux()}
+		go func() {
+			if err := pp.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(out, "pprof listener: %v\n", err)
+			}
+		}()
+		defer pp.Close()
+		fmt.Fprintf(out, "pprof listening on %s\n", o.pprofAddr)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(out, "cardestd listening on %s\n", o.addr)
@@ -622,6 +639,19 @@ func listenAndServe(srv *serve.Server, o options, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "drained cleanly")
 	return nil
+}
+
+// pprofMux registers the net/http/pprof handlers on a dedicated mux (not
+// http.DefaultServeMux), so the profiling surface exists only on the -pprof
+// listener.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // smoke is the self-test behind `make serve-smoke`: serve on a random

@@ -28,11 +28,21 @@ import (
 type Complex struct {
 	meta *TableMeta
 	opts Options
+	// offsets mirrors Conjunctive's fixed per-attribute layout; maxN is the
+	// widest per-attribute partition vector, sizing FeaturizeInto's scratch.
+	offsets []int
+	maxN    int
 }
 
 // NewComplex returns Limited Disjunction Encoding over meta.
 func NewComplex(meta *TableMeta, opts Options) *Complex {
-	return &Complex{meta: meta, opts: opts}
+	c := &Complex{meta: meta, opts: opts, offsets: attrOffsets(meta, opts)}
+	for _, a := range meta.Attrs {
+		if a.NEntries > c.maxN {
+			c.maxN = a.NEntries
+		}
+	}
+	return c
 }
 
 // Name implements Featurizer.
@@ -87,6 +97,55 @@ func (c *Complex) Featurize(expr sqlparse.Expr) ([]float64, error) {
 	return vec, nil
 }
 
+// FeaturizeInto implements Featurizer (Algorithm 2) at fixed per-attribute
+// offsets. One scratch vector is shared by every disjunct of every compound
+// predicate (each disjunct featurization fully overwrites it), so the only
+// per-call garbage left is the DNF normalization itself.
+func (c *Complex) FeaturizeInto(dst []float64, expr sqlparse.Expr) error {
+	if err := checkDst("complex", dst, c.Dim()); err != nil {
+		return err
+	}
+	compounds, err := sqlparse.CompoundPredicates(expr)
+	if err != nil {
+		return fmt.Errorf("core/complex: %w", err)
+	}
+	byAttr := make(map[int]sqlparse.Expr, len(compounds))
+	for _, cp := range compounds {
+		ai := c.meta.AttrIndex(cp.Attr)
+		if ai < 0 {
+			return fmt.Errorf("core/complex: unknown attribute %q", cp.Attr)
+		}
+		byAttr[ai] = cp.Expr
+	}
+
+	var scratch []float64
+	for ai, a := range c.meta.Attrs {
+		off := c.offsets[ai]
+		block := dst[off : off+a.NEntries]
+		cpExpr, has := byAttr[ai]
+		if !has {
+			for i := range block {
+				block[i] = 1
+			}
+			if c.opts.AttrSel {
+				dst[off+a.NEntries] = 1
+			}
+			continue
+		}
+		if scratch == nil {
+			scratch = make([]float64, c.maxN)
+		}
+		sel, err := FeaturizeAttrCompoundInto(a, cpExpr, block, scratch[:a.NEntries])
+		if err != nil {
+			return err
+		}
+		if c.opts.AttrSel {
+			dst[off+a.NEntries] = sel
+		}
+	}
+	return nil
+}
+
 // FeaturizeAttrCompound runs Algorithm 2 for one attribute: the compound
 // predicate expr (all of whose simple predicates must reference attribute a)
 // is converted to DNF, each disjunct is featurized with Algorithm 1, and the
@@ -96,25 +155,43 @@ func (c *Complex) Featurize(expr sqlparse.Expr) ([]float64, error) {
 // clamped to 1 — an upper bound that is exact when the disjuncts cover
 // disjoint value ranges, as they do in the paper's mixed workload.
 func FeaturizeAttrCompound(a AttrMeta, expr sqlparse.Expr) ([]float64, float64, error) {
+	merged := make([]float64, a.NEntries)
+	sel, err := FeaturizeAttrCompoundInto(a, expr, merged, make([]float64, a.NEntries))
+	if err != nil {
+		return nil, 0, err
+	}
+	return merged, sel, nil
+}
+
+// FeaturizeAttrCompoundInto is FeaturizeAttrCompound merging into dst
+// (length a.NEntries, fully overwritten). scratch (same length) holds each
+// disjunct's Algorithm 1 vector before the max-merge; it may be reused
+// across calls since every disjunct featurization fully overwrites it.
+func FeaturizeAttrCompoundInto(a AttrMeta, expr sqlparse.Expr, dst, scratch []float64) (float64, error) {
+	if len(dst) != a.NEntries || len(scratch) != a.NEntries {
+		return 0, fmt.Errorf("core/complex: attribute %q: destination/scratch length %d/%d, want %d", a.Name, len(dst), len(scratch), a.NEntries)
+	}
 	dnf, err := sqlparse.ToDNF(expr)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core/complex: attribute %q: %w", a.Name, err)
+		return 0, fmt.Errorf("core/complex: attribute %q: %w", a.Name, err)
 	}
-	merged := make([]float64, a.NEntries) // all-zero (Algorithm 2, line 3)
+	for i := range dst {
+		dst[i] = 0 // all-zero (Algorithm 2, line 3)
+	}
 	var mergedSel float64
 	for _, conj := range dnf {
 		for _, p := range conj {
 			if got := p.Attr; got != a.Name && !qualifiedMatch(got, a.Name) {
-				return nil, 0, fmt.Errorf("core/complex: compound predicate mixes attributes %q and %q", a.Name, got)
+				return 0, fmt.Errorf("core/complex: compound predicate mixes attributes %q and %q", a.Name, got)
 			}
 		}
-		f, sel, err := FeaturizeAttrConjunction(a, conj)
+		sel, err := FeaturizeAttrConjunctionInto(a, conj, scratch)
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
-		for i, v := range f {
-			if v > merged[i] {
-				merged[i] = v
+		for i, v := range scratch {
+			if v > dst[i] {
+				dst[i] = v
 			}
 		}
 		mergedSel += sel
@@ -125,9 +202,9 @@ func FeaturizeAttrCompound(a AttrMeta, expr sqlparse.Expr) ([]float64, float64, 
 	// With frequency weights attached, the merged vector itself gives a
 	// sharper disjunction estimate than the clamped per-branch sum.
 	if a.Weights != nil {
-		mergedSel = weightedSel(a.Weights, merged)
+		mergedSel = weightedSel(a.Weights, dst)
 	}
-	return merged, mergedSel, nil
+	return mergedSel, nil
 }
 
 // qualifiedMatch reports whether name is a table-qualified spelling whose

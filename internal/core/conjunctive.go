@@ -30,11 +30,30 @@ import (
 type Conjunctive struct {
 	meta *TableMeta
 	opts Options
+	// offsets[ai] is attribute ai's block start in the feature vector;
+	// offsets[NumAttrs] is the total dim. Precomputed so FeaturizeInto can
+	// write each attribute at its fixed offset.
+	offsets []int
 }
 
 // NewConjunctive returns Universal Conjunction Encoding over meta.
 func NewConjunctive(meta *TableMeta, opts Options) *Conjunctive {
-	return &Conjunctive{meta: meta, opts: opts}
+	return &Conjunctive{meta: meta, opts: opts, offsets: attrOffsets(meta, opts)}
+}
+
+// attrOffsets precomputes the per-attribute block offsets of the
+// partition-based layout shared by Universal Conjunction Encoding and
+// Limited Disjunction Encoding.
+func attrOffsets(meta *TableMeta, opts Options) []int {
+	offsets := make([]int, meta.NumAttrs()+1)
+	for i, a := range meta.Attrs {
+		stride := a.NEntries
+		if opts.AttrSel {
+			stride++
+		}
+		offsets[i+1] = offsets[i] + stride
+	}
+	return offsets
 }
 
 // Name implements Featurizer.
@@ -78,13 +97,47 @@ func (c *Conjunctive) Featurize(expr sqlparse.Expr) ([]float64, error) {
 	return vec, nil
 }
 
+// FeaturizeInto implements Featurizer: Algorithm 1 writing each attribute's
+// partition block (and optional selectivity entry) at its precomputed offset.
+func (c *Conjunctive) FeaturizeInto(dst []float64, expr sqlparse.Expr) error {
+	if err := checkDst("conjunctive", dst, c.Dim()); err != nil {
+		return err
+	}
+	if !sqlparse.IsConjunctive(expr) {
+		return fmt.Errorf("core/conjunctive: disjunctions require Limited Disjunction Encoding")
+	}
+	perAttr := sqlparse.PredsPerAttr(expr)
+	if err := checkKnownAttrs(c.meta, perAttr); err != nil {
+		return fmt.Errorf("core/conjunctive: %w", err)
+	}
+	for ai, a := range c.meta.Attrs {
+		off := c.offsets[ai]
+		sel, err := FeaturizeAttrConjunctionInto(a, predsFor(perAttr, c.meta, a), dst[off:off+a.NEntries])
+		if err != nil {
+			return err
+		}
+		if c.opts.AttrSel {
+			dst[off+a.NEntries] = sel
+		}
+	}
+	return nil
+}
+
 // predsFor collects the predicates of attribute a from the per-attribute
-// grouping, matching both bare and table-qualified spellings.
+// grouping, matching both bare and table-qualified spellings. The qualified
+// match scans the (small) grouping instead of building "table.attr", keeping
+// the per-query hot path free of string garbage.
 func predsFor(perAttr map[string][]*sqlparse.Pred, meta *TableMeta, a AttrMeta) []*sqlparse.Pred {
 	if ps, ok := perAttr[a.Name]; ok {
 		return ps
 	}
-	return perAttr[meta.Name+"."+a.Name]
+	nt, na := len(meta.Name), len(a.Name)
+	for name, ps := range perAttr {
+		if len(name) == nt+1+na && name[nt] == '.' && name[:nt] == meta.Name && name[nt+1:] == a.Name {
+			return ps
+		}
+	}
+	return nil
 }
 
 // checkKnownAttrs verifies every referenced attribute resolves in meta.
@@ -114,6 +167,20 @@ func checkKnownAttrs(meta *TableMeta, perAttr map[string][]*sqlparse.Pred) error
 // purely 0/1.
 func FeaturizeAttrConjunction(a AttrMeta, preds []*sqlparse.Pred) ([]float64, float64, error) {
 	vec := make([]float64, a.NEntries)
+	sel, err := FeaturizeAttrConjunctionInto(a, preds, vec)
+	if err != nil {
+		return nil, 0, err
+	}
+	return vec, sel, nil
+}
+
+// FeaturizeAttrConjunctionInto is FeaturizeAttrConjunction writing the
+// partition vector into vec, which must have length a.NEntries and is fully
+// overwritten. It is the allocation-free core both featurization paths share.
+func FeaturizeAttrConjunctionInto(a AttrMeta, preds []*sqlparse.Pred, vec []float64) (float64, error) {
+	if len(vec) != a.NEntries {
+		return 0, fmt.Errorf("core: attribute %q: destination length %d, want %d", a.Name, len(vec), a.NEntries)
+	}
 	for i := range vec {
 		vec[i] = 1
 	}
@@ -144,7 +211,7 @@ func FeaturizeAttrConjunction(a AttrMeta, preds []*sqlparse.Pred) ([]float64, fl
 
 	for _, p := range preds {
 		if p.Str != nil {
-			return nil, 0, fmt.Errorf("core: unbound string predicate %s", p)
+			return 0, fmt.Errorf("core: unbound string predicate %s", p)
 		}
 		val := p.Val
 		idx := a.BucketOf(val)
@@ -226,7 +293,7 @@ func FeaturizeAttrConjunction(a AttrMeta, preds []*sqlparse.Pred) ([]float64, fl
 				maxA = bound
 			}
 		default:
-			return nil, 0, fmt.Errorf("core: unknown operator in %s", p)
+			return 0, fmt.Errorf("core: unknown operator in %s", p)
 		}
 	}
 
@@ -252,7 +319,7 @@ func FeaturizeAttrConjunction(a AttrMeta, preds []*sqlparse.Pred) ([]float64, fl
 		}
 		sel = float64(r) / float64(a.DomainSize())
 	}
-	return vec, sel, nil
+	return sel, nil
 }
 
 // weightedSel combines per-partition frequency shares with partition

@@ -447,6 +447,21 @@ type Featurizer interface {
 	// is outside the QFT's supported query class (e.g. disjunctions under
 	// Universal Conjunction Encoding).
 	Featurize(expr sqlparse.Expr) ([]float64, error)
+	// FeaturizeInto encodes expr into dst, which must have length Dim(); dst
+	// is fully overwritten (no caller-side zeroing needed). The written
+	// vector is bit-identical to Featurize's — implementations write each
+	// attribute's block at its fixed offset instead of concatenating appends,
+	// which lets callers reuse one buffer across queries. On error dst's
+	// contents are unspecified.
+	FeaturizeInto(dst []float64, expr sqlparse.Expr) error
+}
+
+// checkDst verifies the FeaturizeInto contract on the destination length.
+func checkDst(qft string, dst []float64, dim int) error {
+	if len(dst) != dim {
+		return fmt.Errorf("core/%s: destination length %d, want %d", qft, len(dst), dim)
+	}
+	return nil
 }
 
 // New constructs the named QFT over meta. Valid names are the paper's

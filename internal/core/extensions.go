@@ -70,6 +70,22 @@ func (w *WithGroupBy) Featurize(expr sqlparse.Expr) ([]float64, error) {
 	return w.FeaturizeQuery(expr, nil)
 }
 
+// FeaturizeInto implements Featurizer: the base encoding at offset 0, the
+// (here empty) GROUP BY block zeroed after it.
+func (w *WithGroupBy) FeaturizeInto(dst []float64, expr sqlparse.Expr) error {
+	if err := checkDst("groupby", dst, w.Dim()); err != nil {
+		return err
+	}
+	base := w.Base.Dim()
+	if err := w.Base.FeaturizeInto(dst[:base], expr); err != nil {
+		return err
+	}
+	for i := base; i < len(dst); i++ {
+		dst[i] = 0
+	}
+	return nil
+}
+
 // FeaturizeQuery encodes the selection expression and the grouping
 // attributes into one vector.
 func (w *WithGroupBy) FeaturizeQuery(expr sqlparse.Expr, groupBy []string) ([]float64, error) {

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qfe/internal/sqlparse"
+)
+
+// Differential coverage for the FeaturizeInto fast path: for every QFT, on
+// randomized expressions and dirty reused buffers, the fixed-offset writer
+// must reproduce the append-based Featurize byte for byte — the bit-identity
+// contract the pooled estimator buffers rely on.
+
+// poison fills dst with NaN so any entry FeaturizeInto fails to overwrite is
+// caught by the comparison.
+func poison(dst []float64) {
+	for i := range dst {
+		dst[i] = math.NaN()
+	}
+}
+
+func sameVec(t *testing.T, trial int, name string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s trial %d: length %d vs %d", name, trial, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s trial %d: entry %d = %v, want %v", name, trial, i, got[i], want[i])
+		}
+	}
+}
+
+// TestFeaturizeIntoMatchesFeaturize runs every QFT (with and without the
+// selectivity entries, with and without frequency weights) over randomized
+// conjunctions, comparing both paths bit for bit on a single reused buffer.
+func TestFeaturizeIntoMatchesFeaturize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	tbl := randTable(rng, 300)
+	for _, attrSel := range []bool{false, true} {
+		for _, weighted := range []bool{false, true} {
+			var meta *TableMeta
+			if weighted {
+				meta = NewTableMetaWeighted(tbl, 16)
+			} else {
+				meta = NewTableMeta(tbl, 16)
+			}
+			opts := Options{MaxEntriesPerAttr: 16, AttrSel: attrSel}
+			for _, name := range QFTNames() {
+				f, err := New(name, meta, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dst := make([]float64, f.Dim())
+				for trial := 0; trial < 400; trial++ {
+					expr := randConjunction(rng, meta, 5)
+					want, err := f.Featurize(expr)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					poison(dst)
+					if err := f.FeaturizeInto(dst, expr); err != nil {
+						t.Fatalf("%s: FeaturizeInto: %v", name, err)
+					}
+					sameVec(t, trial, name, want, dst)
+				}
+				// The no-predicate encoding must match too.
+				want, err := f.Featurize(nil)
+				if err != nil {
+					t.Fatalf("%s: nil expr: %v", name, err)
+				}
+				poison(dst)
+				if err := f.FeaturizeInto(dst, nil); err != nil {
+					t.Fatalf("%s: FeaturizeInto nil expr: %v", name, err)
+				}
+				sameVec(t, -1, name+"/nil", want, dst)
+			}
+		}
+	}
+}
+
+// TestFeaturizeIntoMatchesFeaturizeMixed exercises Limited Disjunction
+// Encoding on mixed queries (Definition 3.3), where the shared scratch
+// buffer crosses disjuncts and attributes.
+func TestFeaturizeIntoMatchesFeaturizeMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5353))
+	tbl := randTable(rng, 300)
+	for _, attrSel := range []bool{false, true} {
+		meta := NewTableMeta(tbl, 16)
+		f := NewComplex(meta, Options{MaxEntriesPerAttr: 16, AttrSel: attrSel})
+		dst := make([]float64, f.Dim())
+		for trial := 0; trial < 400; trial++ {
+			expr := randMixed(rng, meta)
+			want, err := f.Featurize(expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			poison(dst)
+			if err := f.FeaturizeInto(dst, expr); err != nil {
+				t.Fatal(err)
+			}
+			sameVec(t, trial, "complex/mixed", want, dst)
+		}
+	}
+}
+
+// TestFeaturizeIntoRepeatedAttrsSimple pins the map-free dedupe of the
+// Simple fast path against the map-based reference on expressions that
+// repeat attributes (first predicate wins).
+func TestFeaturizeIntoRepeatedAttrsSimple(t *testing.T) {
+	rng := rand.New(rand.NewSource(6464))
+	tbl := randTable(rng, 100)
+	meta := NewTableMeta(tbl, 16)
+	f := NewSimple(meta)
+	dst := make([]float64, f.Dim())
+	for trial := 0; trial < 500; trial++ {
+		// High predicate count over 3 attributes guarantees repeats.
+		expr := randConjunction(rng, meta, 8)
+		want, err := f.Featurize(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		poison(dst)
+		if err := f.FeaturizeInto(dst, expr); err != nil {
+			t.Fatal(err)
+		}
+		sameVec(t, trial, "simple/repeat", want, dst)
+	}
+}
+
+// TestFeaturizeIntoGroupByWrapper checks the WithGroupBy adapter: base block
+// plus zeroed GROUP BY tail.
+func TestFeaturizeIntoGroupByWrapper(t *testing.T) {
+	rng := rand.New(rand.NewSource(7575))
+	tbl := randTable(rng, 100)
+	meta := NewTableMeta(tbl, 8)
+	w := &WithGroupBy{Base: NewConjunctive(meta, Options{MaxEntriesPerAttr: 8, AttrSel: true}), Meta: meta}
+	dst := make([]float64, w.Dim())
+	for trial := 0; trial < 200; trial++ {
+		expr := randConjunction(rng, meta, 4)
+		want, err := w.Featurize(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		poison(dst)
+		if err := w.FeaturizeInto(dst, expr); err != nil {
+			t.Fatal(err)
+		}
+		sameVec(t, trial, "groupby", want, dst)
+	}
+}
+
+// TestFeaturizeIntoGlobal checks the multi-table adapter: per-table blocks
+// at schema-order offsets, absent tables zeroed, bit-vector tail in place.
+func TestFeaturizeIntoGlobal(t *testing.T) {
+	schema, metas := twoTableSchema()
+	for _, qft := range QFTNames() {
+		g, err := NewGlobalFeaturizer(schema, metas, qft, Options{MaxEntriesPerAttr: 8, AttrSel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, g.Dim())
+		for _, sql := range []string{
+			"SELECT count(*) FROM title, cast_info WHERE title.id = cast_info.movie_id AND title.year >= 2000 AND cast_info.role_id = 1",
+			"SELECT count(*) FROM title, cast_info WHERE title.id = cast_info.movie_id AND title.year >= 2000",
+			"SELECT count(*) FROM title WHERE year < 1950",
+			"SELECT count(*) FROM cast_info WHERE role_id = 3 AND movie_id > 40",
+		} {
+			q := sqlparse.MustParse(sql)
+			want, err := g.Featurize(q)
+			if err != nil {
+				t.Fatalf("%s: %v", qft, err)
+			}
+			poison(dst)
+			if err := g.FeaturizeInto(dst, q); err != nil {
+				t.Fatalf("%s: %v", qft, err)
+			}
+			sameVec(t, 0, qft+"/global:"+sql, want, dst)
+		}
+	}
+}
+
+// TestFeaturizeIntoErrors: both paths must agree on rejection, and a
+// wrong-length destination is refused outright.
+func TestFeaturizeIntoErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8686))
+	tbl := randTable(rng, 50)
+	meta := NewTableMeta(tbl, 8)
+	opts := Options{MaxEntriesPerAttr: 8, AttrSel: true}
+	disj := sqlparse.NewOr(
+		&sqlparse.Pred{Attr: "a", Op: sqlparse.OpEq, Val: 1},
+		&sqlparse.Pred{Attr: "b", Op: sqlparse.OpEq, Val: 2},
+	)
+	unknown := &sqlparse.Pred{Attr: "nope", Op: sqlparse.OpEq, Val: 1}
+	for _, name := range QFTNames() {
+		f, err := New(name, meta, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.FeaturizeInto(make([]float64, f.Dim()+1), nil); err == nil {
+			t.Errorf("%s: oversized destination accepted", name)
+		}
+		for _, bad := range []sqlparse.Expr{disj, unknown} {
+			_, refErr := f.Featurize(bad)
+			intoErr := f.FeaturizeInto(make([]float64, f.Dim()), bad)
+			if (refErr == nil) != (intoErr == nil) {
+				t.Errorf("%s: Featurize err %v but FeaturizeInto err %v", name, refErr, intoErr)
+			}
+		}
+	}
+}

@@ -85,6 +85,46 @@ func (g *GlobalFeaturizer) Featurize(q *sqlparse.Query) ([]float64, error) {
 	return vec, nil
 }
 
+// FeaturizeInto is Featurize writing into dst (length Dim(), fully
+// overwritten): each table's block sits at its fixed schema-order offset,
+// absent tables zero theirs, and the table bit-vector is written in place
+// instead of materialized.
+func (g *GlobalFeaturizer) FeaturizeInto(dst []float64, q *sqlparse.Query) error {
+	if err := checkDst("global", dst, g.Dim()); err != nil {
+		return err
+	}
+	perTable, err := SplitWhereByTable(q)
+	if err != nil {
+		return err
+	}
+	inQuery := make(map[string]bool, len(q.Tables))
+	for _, t := range q.Tables {
+		inQuery[t] = true
+	}
+	off := 0
+	for _, t := range g.Schema.Tables {
+		f := g.QFTs[t]
+		d := f.Dim()
+		block := dst[off : off+d]
+		if !inQuery[t] {
+			for i := range block {
+				block[i] = 0
+			}
+		} else if err := f.FeaturizeInto(block, perTable[t]); err != nil {
+			return fmt.Errorf("core: table %q: %w", t, err)
+		}
+		off += d
+	}
+	for i, t := range g.Schema.Tables {
+		if inQuery[t] {
+			dst[off+i] = 1
+		} else {
+			dst[off+i] = 0
+		}
+	}
+	return nil
+}
+
 // SplitWhereByTable splits the top-level conjunction of a multi-table
 // query's WHERE into per-table selection expressions, keyed by table name.
 // Every conjunct must reference exactly one table. For a single-table query

@@ -49,6 +49,26 @@ func (r *Range) Featurize(expr sqlparse.Expr) ([]float64, error) {
 	return vec, nil
 }
 
+// FeaturizeInto implements Featurizer: attribute i owns dst[2*i : 2*i+2].
+func (r *Range) FeaturizeInto(dst []float64, expr sqlparse.Expr) error {
+	if err := checkDst("range", dst, r.Dim()); err != nil {
+		return err
+	}
+	if !sqlparse.IsConjunctive(expr) {
+		return fmt.Errorf("core/range: disjunctions are not supported by Range Predicate Encoding")
+	}
+	perAttr := sqlparse.PredsPerAttr(expr)
+	if err := checkKnownAttrs(r.meta, perAttr); err != nil {
+		return fmt.Errorf("core/range: %w", err)
+	}
+	for i, a := range r.meta.Attrs {
+		lo, hi := FeaturizeAttrRange(a, predsFor(perAttr, r.meta, a))
+		dst[2*i] = lo
+		dst[2*i+1] = hi
+	}
+	return nil
+}
+
 // FeaturizeAttrRange intersects the conjunction of preds on attribute a into
 // one closed range and returns its [0,1]-normalized bounds. Attributes
 // without predicates yield the full range [0, 1]; an unsatisfiable

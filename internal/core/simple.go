@@ -64,6 +64,42 @@ func (s *Simple) Featurize(expr sqlparse.Expr) ([]float64, error) {
 	return vec, nil
 }
 
+// FeaturizeInto implements Featurizer. It is the fixed-offset twin of
+// Featurize (attribute ai owns dst[4*ai : 4*ai+4]) and dedupes repeated
+// attributes without a map: an attribute has been featurized exactly when one
+// of its three operator bits is set (every supported operator sets at least
+// one).
+func (s *Simple) FeaturizeInto(dst []float64, expr sqlparse.Expr) error {
+	if err := checkDst("simple", dst, s.Dim()); err != nil {
+		return err
+	}
+	if !sqlparse.IsConjunctive(expr) {
+		return fmt.Errorf("core/simple: disjunctions are not supported by Singular Predicate Encoding")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, p := range sqlparse.CollectPreds(expr) {
+		if p.Str != nil {
+			return fmt.Errorf("core/simple: unbound string predicate %s", p)
+		}
+		ai := s.meta.AttrIndex(p.Attr)
+		if ai < 0 {
+			return fmt.Errorf("core/simple: unknown attribute %q", p.Attr)
+		}
+		base := 4 * ai
+		if dst[base] != 0 || dst[base+1] != 0 || dst[base+2] != 0 {
+			continue // information loss: only one predicate per attribute fits
+		}
+		eq, gt, lt := opBits(p.Op)
+		dst[base+0] = eq
+		dst[base+1] = gt
+		dst[base+2] = lt
+		dst[base+3] = s.meta.Attrs[ai].Normalize(p.Val)
+	}
+	return nil
+}
+
 // opBits projects a comparison operator onto the {=, >, <} indicator bits.
 func opBits(op sqlparse.CmpOp) (eq, gt, lt float64) {
 	switch op {

@@ -1,0 +1,184 @@
+package estimator
+
+import (
+	"context"
+	"testing"
+
+	"qfe/internal/catalog"
+	"qfe/internal/core"
+	"qfe/internal/sqlparse"
+)
+
+func trainedLocalGB(t testing.TB) (*Local, *testEnv) {
+	t.Helper()
+	e := env(t)
+	l, err := NewLocal(e.db, LocalConfig{
+		QFT:          "conjunctive",
+		Opts:         core.Options{MaxEntriesPerAttr: 16, AttrSel: true},
+		NewRegressor: NewGBFactory(smallGB()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Train(e.train[:600]); err != nil {
+		t.Fatal(err)
+	}
+	return l, e
+}
+
+// referenceEstimate reproduces the pre-pooling Estimate: append-based
+// featurization (featurizeWith) through the same regressor and transform.
+func referenceEstimate(t testing.TB, l *Local, q *sqlparse.Query) float64 {
+	t.Helper()
+	lm := l.models[catalog.SubSchemaKey(q.Tables)]
+	if lm == nil {
+		t.Fatalf("no model for %v", q.Tables)
+	}
+	vec, err := l.featurizeWith(lm, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l.transform.inverse(lm.reg.Predict(vec))
+}
+
+// TestPooledEstimateBitIdentical: the pooled featurize-into path must give
+// exactly the estimate the append-based path gives, query for query.
+func TestPooledEstimateBitIdentical(t *testing.T) {
+	l, e := trainedLocalGB(t)
+	for i, lq := range e.test[:200] {
+		got, err := l.Estimate(lq.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := referenceEstimate(t, l, lq.Query); got != want {
+			t.Fatalf("query %d: pooled %v != reference %v", i, got, want)
+		}
+	}
+}
+
+// TestLocalEstimateBatchMatchesEstimate: the grouped batch path must agree
+// bit for bit with per-query Estimate, and per-query failures must not
+// disturb neighbors.
+func TestLocalEstimateBatchMatchesEstimate(t *testing.T) {
+	l, e := trainedLocalGB(t)
+	qs := make([]*sqlparse.Query, 0, 101)
+	for _, lq := range e.test[:100] {
+		qs = append(qs, lq.Query)
+	}
+	// An unroutable query in the middle: its slot errors, the rest succeed.
+	unknown := sqlparse.MustParse("SELECT count(*) FROM nowhere WHERE x = 1")
+	qs = append(qs[:50], append([]*sqlparse.Query{unknown}, qs[50:]...)...)
+
+	ests, errs := l.EstimateBatch(context.Background(), qs)
+	for i, q := range qs {
+		if q == unknown {
+			if errs[i] == nil {
+				t.Fatal("unknown sub-schema did not error")
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		want, err := l.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ests[i] != want {
+			t.Fatalf("query %d: batch %v != single %v", i, ests[i], want)
+		}
+	}
+
+	// A dead context fails every slot without touching the models.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, errs = l.EstimateBatch(ctx, qs[:3])
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("slot %d survived canceled context", i)
+		}
+	}
+}
+
+// TestGlobalPooledAndBatch: same contract for the global estimator — pooled
+// Estimate matches the append-based reference, and EstimateBatch matches
+// Estimate.
+func TestGlobalPooledAndBatch(t *testing.T) {
+	e := env(t)
+	schema := &catalog.Schema{Tables: []string{"forest"}}
+	g, err := NewGlobal(e.db, schema, "conjunctive",
+		core.Options{MaxEntriesPerAttr: 16, AttrSel: true}, NewGBFactory(smallGB()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Train(e.train[:600]); err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]*sqlparse.Query, 0, 100)
+	for _, lq := range e.test[:100] {
+		qs = append(qs, lq.Query)
+	}
+	for i, q := range qs {
+		vec, err := g.feat.Featurize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.transform.inverse(g.reg.Predict(vec))
+		got, err := g.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("query %d: pooled %v != reference %v", i, got, want)
+		}
+	}
+	ests, errs := g.EstimateBatch(context.Background(), qs)
+	for i, q := range qs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		want, err := g.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ests[i] != want {
+			t.Fatalf("query %d: batch %v != single %v", i, ests[i], want)
+		}
+	}
+}
+
+// TestEstimateSteadyStateAllocs pins the pooled path's per-query allocation
+// count so future changes can't silently reintroduce garbage. The remaining
+// allocations are query analysis (sub-schema key, per-table predicate
+// split), not featurization or inference buffers.
+func TestEstimateSteadyStateAllocs(t *testing.T) {
+	l, e := trainedLocalGB(t)
+	q := e.test[0].Query
+	if _, err := l.Estimate(q); err != nil { // warm the pools
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := l.Estimate(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("Local.Estimate allocs/op = %v", allocs)
+	if allocs > 48 {
+		t.Errorf("Local.Estimate allocs/op = %v, want <= 48 (pooled fast path regressed)", allocs)
+	}
+
+	// The batch path shares one matrix and one predict call per sub-schema,
+	// so its per-query count must stay below the single-query path.
+	qs := make([]*sqlparse.Query, 64)
+	for i := range qs {
+		qs[i] = e.test[i%100].Query
+	}
+	l.EstimateBatch(context.Background(), qs)
+	allocs = testing.AllocsPerRun(50, func() {
+		l.EstimateBatch(context.Background(), qs)
+	})
+	t.Logf("Local.EstimateBatch(64) allocs/op = %v (%.2f per query)", allocs, allocs/64)
+	if allocs/64 > 40 {
+		t.Errorf("EstimateBatch allocs per query = %v, want <= 40", allocs/64)
+	}
+}

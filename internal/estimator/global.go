@@ -1,7 +1,9 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"qfe/internal/catalog"
 	"qfe/internal/core"
@@ -23,6 +25,16 @@ type Global struct {
 	// (SaveJSON) and later rebuilt without the data.
 	opts  core.Options
 	metas map[string]*core.TableMeta
+
+	vecPool   *sync.Pool // *[]float64, single-query featurization buffers
+	batchPool *sync.Pool // *batchScratch, batch matrices
+}
+
+// initPools sizes the featurization buffer pools from the featurizer's
+// fixed dimension; called by both NewGlobal and LoadGlobal.
+func (g *Global) initPools() {
+	g.vecPool = newVecPool(g.feat.Dim())
+	g.batchPool = newBatchPool()
 }
 
 // NewGlobal builds the estimator over the schema using the named QFT.
@@ -40,7 +52,9 @@ func NewGlobal(db *table.DB, schema *catalog.Schema, qft string, opts core.Optio
 	if err != nil {
 		return nil, err
 	}
-	return &Global{feat: gf, reg: factory(), transform: labelTransform{raw: rawLabels}, qft: qft, opts: opts, metas: metas}, nil
+	g := &Global{feat: gf, reg: factory(), transform: labelTransform{raw: rawLabels}, qft: qft, opts: opts, metas: metas}
+	g.initPools()
+	return g, nil
 }
 
 // ValidateSchema checks that the estimator's featurization metadata is
@@ -81,13 +95,46 @@ func (g *Global) Train(train workload.Set) error {
 	return g.reg.Fit(X, g.transform.transformAll(train.Cards()))
 }
 
-// Estimate implements Estimator.
+// Estimate implements Estimator: featurize into a pooled buffer, predict
+// through the model's compiled layout, invert the label transform.
 func (g *Global) Estimate(q *sqlparse.Query) (float64, error) {
-	vec, err := g.feat.Featurize(q)
-	if err != nil {
+	bufp := g.vecPool.Get().(*[]float64)
+	if err := g.feat.FeaturizeInto(*bufp, q); err != nil {
+		g.vecPool.Put(bufp)
 		return 0, err
 	}
-	return g.transform.inverse(g.reg.Predict(vec)), nil
+	pred := g.reg.Predict(*bufp)
+	g.vecPool.Put(bufp)
+	return g.transform.inverse(pred), nil
+}
+
+// EstimateBatch implements BatchEstimator: the whole batch featurizes into
+// one reused flat matrix and goes through the regressor's batch predict.
+// Per-query failures land in errs without aborting the rest.
+func (g *Global) EstimateBatch(ctx context.Context, qs []*sqlparse.Query) ([]float64, []error) {
+	ests := make([]float64, len(qs))
+	errs := make([]error, len(qs))
+	sc := g.batchPool.Get().(*batchScratch)
+	sc.resize(len(qs), g.feat.Dim())
+	n := 0
+	for qi, q := range qs {
+		if err := ctx.Err(); err != nil {
+			errs[qi] = err
+			continue
+		}
+		if err := g.feat.FeaturizeInto(sc.rows[n], q); err != nil {
+			errs[qi] = err
+			continue
+		}
+		sc.idx[n] = qi
+		n++
+	}
+	predictBatch(g.reg, sc, n)
+	for r := 0; r < n; r++ {
+		ests[sc.idx[r]] = g.transform.inverse(sc.preds[r])
+	}
+	g.batchPool.Put(sc)
+	return ests, errs
 }
 
 // MemoryBytes reports the trained model's footprint.

@@ -1,8 +1,10 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"qfe/internal/catalog"
 	"qfe/internal/core"
@@ -40,7 +42,16 @@ type localModel struct {
 	tables []string // sorted
 	feats  []core.Featurizer
 	reg    Regressor
+	// offsets[i] is where feats[i]'s block starts in the concatenated
+	// vector; offsets[len(tables)] is the total dimension. Fixed at
+	// construction, so the pooled fast path writes each table's encoding
+	// in place instead of appending.
+	offsets   []int
+	vecPool   *sync.Pool // *[]float64, single-query featurization buffers
+	batchPool *sync.Pool // *batchScratch, batch matrices
 }
+
+func (lm *localModel) dim() int { return lm.offsets[len(lm.offsets)-1] }
 
 // NewLocal builds the estimator skeleton over the database's tables. Models
 // are created lazily per sub-schema during Train.
@@ -125,6 +136,12 @@ func (l *Local) modelFor(tables []string) (*localModel, error) {
 		}
 		lm.feats = append(lm.feats, f)
 	}
+	lm.offsets = make([]int, len(lm.feats)+1)
+	for i, f := range lm.feats {
+		lm.offsets[i+1] = lm.offsets[i] + f.Dim()
+	}
+	lm.vecPool = newVecPool(lm.dim())
+	lm.batchPool = newBatchPool()
 	return lm, nil
 }
 
@@ -146,19 +163,85 @@ func (l *Local) featurizeWith(lm *localModel, q *sqlparse.Query) ([]float64, err
 	return vec, nil
 }
 
-// Estimate implements Estimator: route to the sub-schema's model, featurize,
-// predict, invert the label transform.
+// featurizeInto is the pooled-buffer form of featurizeWith: each table's
+// encoding is written in place at its precomputed offset. dst must be
+// lm.dim() long. Output is bit-identical to featurizeWith.
+func (l *Local) featurizeInto(lm *localModel, dst []float64, q *sqlparse.Query) error {
+	perTable, err := core.SplitWhereByTable(q)
+	if err != nil {
+		return err
+	}
+	for i, tn := range lm.tables {
+		if err := lm.feats[i].FeaturizeInto(dst[lm.offsets[i]:lm.offsets[i+1]], perTable[tn]); err != nil {
+			return fmt.Errorf("table %q: %w", tn, err)
+		}
+	}
+	return nil
+}
+
+// Estimate implements Estimator: route to the sub-schema's model, featurize
+// into a pooled buffer, predict through the model's compiled layout, invert
+// the label transform.
 func (l *Local) Estimate(q *sqlparse.Query) (float64, error) {
 	key := catalog.SubSchemaKey(q.Tables)
 	lm, ok := l.models[key]
 	if !ok {
 		return 0, fmt.Errorf("estimator: no local model trained for sub-schema %q", key)
 	}
-	vec, err := l.featurizeWith(lm, q)
-	if err != nil {
+	bufp := lm.vecPool.Get().(*[]float64)
+	if err := l.featurizeInto(lm, *bufp, q); err != nil {
+		lm.vecPool.Put(bufp)
 		return 0, err
 	}
-	return l.transform.inverse(lm.reg.Predict(vec)), nil
+	pred := lm.reg.Predict(*bufp)
+	lm.vecPool.Put(bufp)
+	return l.transform.inverse(pred), nil
+}
+
+// EstimateBatch implements BatchEstimator: queries are grouped by
+// sub-schema, each group featurized into one reused flat matrix and pushed
+// through the regressor's batch predict. Per-query failures (unknown
+// sub-schema, featurization errors, cancellation) land in errs without
+// aborting the rest of the batch.
+func (l *Local) EstimateBatch(ctx context.Context, qs []*sqlparse.Query) ([]float64, []error) {
+	ests := make([]float64, len(qs))
+	errs := make([]error, len(qs))
+	groups := make(map[string][]int)
+	for i, q := range qs {
+		key := catalog.SubSchemaKey(q.Tables)
+		groups[key] = append(groups[key], i)
+	}
+	for key, idxs := range groups {
+		lm, ok := l.models[key]
+		if !ok {
+			err := fmt.Errorf("estimator: no local model trained for sub-schema %q", key)
+			for _, qi := range idxs {
+				errs[qi] = err
+			}
+			continue
+		}
+		sc := lm.batchPool.Get().(*batchScratch)
+		sc.resize(len(idxs), lm.dim())
+		n := 0
+		for _, qi := range idxs {
+			if err := ctx.Err(); err != nil {
+				errs[qi] = err
+				continue
+			}
+			if err := l.featurizeInto(lm, sc.rows[n], qs[qi]); err != nil {
+				errs[qi] = err
+				continue
+			}
+			sc.idx[n] = qi
+			n++
+		}
+		predictBatch(lm.reg, sc, n)
+		for r := 0; r < n; r++ {
+			ests[sc.idx[r]] = l.transform.inverse(sc.preds[r])
+		}
+		lm.batchPool.Put(sc)
+	}
+	return ests, errs
 }
 
 // ValidateSchema checks that the estimator's featurization metadata is

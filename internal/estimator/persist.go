@@ -259,6 +259,7 @@ func LoadGlobal(r io.Reader) (*Global, error) {
 		opts:      s.Opts,
 		metas:     metas,
 	}
+	g.initPools()
 	if err := unmarshalRegressor(g.reg, s.Payload); err != nil {
 		return nil, fmt.Errorf("estimator: restore global model: %w", err)
 	}

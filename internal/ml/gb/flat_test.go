@@ -1,0 +1,174 @@
+package gb
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// randRegression builds a synthetic regression problem with enough feature
+// interaction to force non-trivial trees.
+func randRegression(rng *rand.Rand, n, d int) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64() * 10
+		}
+		X[i] = row
+		y[i] = row[0]*3 + row[1%d]*row[2%d]*0.25 + rng.NormFloat64()
+	}
+	return X, y
+}
+
+// TestFlatPredictBitIdentical trains randomized forests across several
+// configurations and demands the compiled flat walk reproduce the reference
+// per-tree walk bit for bit, on in-distribution and far-out-of-distribution
+// inputs alike.
+func TestFlatPredictBitIdentical(t *testing.T) {
+	cfgs := []Config{
+		{NumTrees: 30, LearningRate: 0.2, MaxDepth: 5, MinSamplesLeaf: 2, MaxBins: 32, SubsampleRows: 0.8, SubsampleCols: 0.7, Seed: 1},
+		{NumTrees: 7, LearningRate: 0.5, MaxDepth: 1, MinSamplesLeaf: 1, MaxBins: 8, SubsampleRows: 1, SubsampleCols: 1, Seed: 2},
+		{NumTrees: 50, LearningRate: 0.07, MaxDepth: 9, MinSamplesLeaf: 5, MaxBins: 64, SubsampleRows: 0.6, SubsampleCols: 0.5, ExactSplits: true, Seed: 3},
+	}
+	for ci, cfg := range cfgs {
+		rng := rand.New(rand.NewSource(int64(100 + ci)))
+		X, y := randRegression(rng, 400, 6)
+		m, err := Train(X, y, cfg)
+		if err != nil {
+			t.Fatalf("cfg %d: Train: %v", ci, err)
+		}
+		if m.flat == nil {
+			t.Fatalf("cfg %d: trained model has no compiled forest", ci)
+		}
+		for trial := 0; trial < 2000; trial++ {
+			x := make([]float64, 6)
+			for j := range x {
+				x[j] = rng.NormFloat64() * 50
+			}
+			got, want := m.Predict(x), m.PredictReference(x)
+			if got != want {
+				t.Fatalf("cfg %d trial %d: flat %v != reference %v", ci, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestFlatSurvivesRoundTrip checks a JSON round-trip recompiles the fast
+// path and preserves bit-identity — the path every loaded snapshot takes.
+func TestFlatSurvivesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	X, y := randRegression(rng, 200, 4)
+	m, err := Train(X, y, Config{NumTrees: 20, LearningRate: 0.15, MaxDepth: 6, MinSamplesLeaf: 2, MaxBins: 32, SubsampleRows: 1, SubsampleCols: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.flat == nil {
+		t.Fatal("decoded model has no compiled forest")
+	}
+	for trial := 0; trial < 500; trial++ {
+		x := make([]float64, 4)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 30
+		}
+		if got, want := back.Predict(x), m.Predict(x); got != want {
+			t.Fatalf("trial %d: decoded %v != original %v", trial, got, want)
+		}
+	}
+}
+
+// TestUncompiledFallback: a hand-assembled model (no compile step) must keep
+// predicting through the reference walk.
+func TestUncompiledFallback(t *testing.T) {
+	m := &Model{
+		Cfg:  Config{LearningRate: 0.5},
+		Base: 1,
+		Dim:  1,
+		Trees: []*tree{{Nodes: []node{
+			{Feature: 0, Threshold: 0, Left: 1, Right: 2},
+			{Leaf: true, Value: -2},
+			{Leaf: true, Value: 4},
+		}}},
+	}
+	if got := m.Predict([]float64{-1}); got != 1+0.5*-2 {
+		t.Errorf("left leaf: got %v", got)
+	}
+	if got := m.Predict([]float64{1}); got != 1+0.5*4 {
+		t.Errorf("right leaf: got %v", got)
+	}
+	if got, want := m.MemoryBytes(), 3*flatNodeBytes+4+16; got != want {
+		t.Errorf("uncompiled MemoryBytes = %d, want %d", got, want)
+	}
+	m.compile()
+	if m.flat == nil {
+		t.Fatal("compile failed on valid hand-built model")
+	}
+	if got, want := m.MemoryBytes(), 3*flatNodeBytes+4+16; got != want {
+		t.Errorf("compiled MemoryBytes = %d, want %d", got, want)
+	}
+}
+
+// TestCompileRejectsUnfit: structurally unfit forests must yield a nil flat
+// form (reference fallback), not a bad compile.
+func TestCompileRejectsUnfit(t *testing.T) {
+	if f := compileForest(nil); f != nil {
+		t.Error("nil trees compiled")
+	}
+	if f := compileForest([]*tree{nil}); f != nil {
+		t.Error("nil tree compiled")
+	}
+	if f := compileForest([]*tree{{}}); f != nil {
+		t.Error("empty tree compiled")
+	}
+}
+
+// TestPredictIntoMatchesPredict: the batch form is row-for-row identical to
+// single-row calls.
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	X, y := randRegression(rng, 300, 5)
+	m, err := Train(X, y, Config{NumTrees: 15, LearningRate: 0.2, MaxDepth: 5, MinSamplesLeaf: 2, MaxBins: 32, SubsampleRows: 1, SubsampleCols: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, len(X))
+	m.PredictInto(dst, X)
+	for i, x := range X {
+		if dst[i] != m.Predict(x) {
+			t.Fatalf("row %d: PredictInto %v != Predict %v", i, dst[i], m.Predict(x))
+		}
+	}
+}
+
+// TestPredictZeroAllocs pins the steady-state allocation count of the
+// compiled single-row and batch paths at zero.
+func TestPredictZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	X, y := randRegression(rng, 300, 5)
+	m, err := Train(X, y, Config{NumTrees: 40, LearningRate: 0.1, MaxDepth: 7, MinSamplesLeaf: 2, MaxBins: 32, SubsampleRows: 0.9, SubsampleCols: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := X[0]
+	if allocs := testing.AllocsPerRun(200, func() {
+		m.Predict(x)
+	}); allocs != 0 {
+		t.Errorf("Predict allocs/op = %v, want 0", allocs)
+	}
+	dst := make([]float64, 64)
+	batch := X[:64]
+	if allocs := testing.AllocsPerRun(100, func() {
+		m.PredictInto(dst, batch)
+	}); allocs != 0 {
+		t.Errorf("PredictInto allocs/op = %v, want 0", allocs)
+	}
+}

@@ -149,6 +149,11 @@ type Model struct {
 	Base  float64 `json:"base"` // the constant c of Equation 5
 	Trees []*tree `json:"trees"`
 	Dim   int     `json:"dim"`
+
+	// flat is the compiled struct-of-arrays form of Trees (see flat.go),
+	// derived at train/decode time and never serialized. nil falls back to
+	// the reference per-tree walk.
+	flat *flatForest
 }
 
 // Train fits a gradient-boosting model on X (row-major samples) and targets
@@ -276,19 +281,31 @@ func TrainCtx(ctx context.Context, X [][]float64, y []float64, cfg Config, opts 
 			}
 		}
 	}
+	m.compile()
 	return m, nil
 }
 
-// Predict returns the model output for one feature vector.
+func predictDimPanic(got, want int) string {
+	return fmt.Sprintf("gb: input dim %d, model dim %d", got, want)
+}
+
+// Predict returns the model output for one feature vector. Trained or
+// deserialized models evaluate through the compiled flat layout — the same
+// tree walks and the same accumulation order as PredictReference, so the
+// result is bit-identical — without allocating.
 func (m *Model) Predict(x []float64) float64 {
 	if len(x) != m.Dim {
-		panic(fmt.Sprintf("gb: input dim %d, model dim %d", len(x), m.Dim))
+		panic(predictDimPanic(len(x), m.Dim))
 	}
-	out := m.Base
-	for _, t := range m.Trees {
-		out += m.Cfg.LearningRate * t.predict(x)
+	f := m.flat
+	if f == nil {
+		out := m.Base
+		for _, t := range m.Trees {
+			out += m.Cfg.LearningRate * t.predict(x)
+		}
+		return out
 	}
-	return out
+	return f.predict(x, m.Base, m.Cfg.LearningRate)
 }
 
 // PredictBatch applies Predict to every row, fanning the rows out across
@@ -312,12 +329,16 @@ func (m *Model) NumNodes() int {
 	return total
 }
 
-// MemoryBytes estimates the model's resident size — the Section 5.7
-// accounting that finds GB the smallest estimator. Each node stores a
-// feature id, a threshold, two child indices, a flag, and a value.
+// MemoryBytes reports the model's resident inference size — the Section 5.7
+// accounting that finds GB the smallest estimator. It measures the compiled
+// flat layout that Predict actually walks (per-node featID, threshold,
+// children, leaf value, plus per-tree root offsets); an uncompiled model
+// reports the equivalent cost its flattening would have.
 func (m *Model) MemoryBytes() int {
-	const nodeBytes = 8 + 8 + 4 + 4 + 1 + 8
-	return m.NumNodes()*nodeBytes + 16
+	if m.flat != nil {
+		return m.flat.memoryBytes() + 16
+	}
+	return m.NumNodes()*flatNodeBytes + 4*len(m.Trees) + 16
 }
 
 // MarshalJSON / model persistence: models serialize to plain JSON so that
@@ -327,10 +348,15 @@ func (m *Model) MarshalJSON() ([]byte, error) {
 	return json.Marshal((*alias)(m))
 }
 
-// UnmarshalJSON restores a serialized model.
+// UnmarshalJSON restores a serialized model and recompiles its inference
+// fast path (the flat form is derived state, never part of the wire format).
 func (m *Model) UnmarshalJSON(data []byte) error {
 	type alias Model
-	return json.Unmarshal(data, (*alias)(m))
+	if err := json.Unmarshal(data, (*alias)(m)); err != nil {
+		return err
+	}
+	m.compile()
+	return nil
 }
 
 // Validate checks the structural invariants a deserialized model must hold

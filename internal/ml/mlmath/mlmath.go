@@ -67,19 +67,29 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 
 // Forward computes W·x + b into a fresh slice.
 func (d *Dense) Forward(x []float64) []float64 {
+	y := make([]float64, d.Out)
+	d.ForwardInto(x, y)
+	return y
+}
+
+// ForwardInto computes W·x + b into dst (length Out). dst must not alias x.
+// The per-output accumulation order is identical to Forward's, so the pooled
+// inference path is bit-identical to the allocating one.
+func (d *Dense) ForwardInto(x, dst []float64) {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("mlmath: dense forward: input dim %d, want %d", len(x), d.In))
 	}
-	y := make([]float64, d.Out)
+	if len(dst) != d.Out {
+		panic(fmt.Sprintf("mlmath: dense forward: output dim %d, want %d", len(dst), d.Out))
+	}
 	for o := 0; o < d.Out; o++ {
 		row := d.W[o*d.In : (o+1)*d.In]
 		sum := d.B[o]
 		for i, w := range row {
 			sum += w * x[i]
 		}
-		y[o] = sum
+		dst[o] = sum
 	}
-	return y
 }
 
 // Backward accumulates gradients for the weights given the layer input x and

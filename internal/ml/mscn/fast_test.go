@@ -1,0 +1,98 @@
+package mscn
+
+import (
+	"math/rand"
+	"testing"
+
+	"qfe/internal/testutil"
+)
+
+func randSets(rng *rand.Rand, td, jd, pd int) *Sets {
+	vec := func(d int) []float64 {
+		v := make([]float64, d)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		return v
+	}
+	set := func(d, maxLen int) [][]float64 {
+		n := 1 + rng.Intn(maxLen)
+		out := make([][]float64, n)
+		for i := range out {
+			out[i] = vec(d)
+		}
+		return out
+	}
+	return &Sets{Tables: set(td, 3), Joins: set(jd, 2), Preds: set(pd, 4)}
+}
+
+func trainSmallMSCN(t *testing.T, seed int64) (*Model, []*Sets) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const td, jd, pd = 3, 2, 5
+	samples := make([]*Sets, 120)
+	y := make([]float64, len(samples))
+	for i := range samples {
+		samples[i] = randSets(rng, td, jd, pd)
+		y[i] = rng.Float64() * 10
+	}
+	cfg := Config{HiddenSet: 8, HiddenOut: 16, LearningRate: 1e-3, Epochs: 3, BatchSize: 16, Seed: seed}
+	m, err := Train(samples, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, samples
+}
+
+// TestPooledPredictBitIdentical: the pooled scratch path must reproduce the
+// allocating reference bit for bit across varying set sizes.
+func TestPooledPredictBitIdentical(t *testing.T) {
+	m, samples := trainSmallMSCN(t, 51)
+	if m.pool == nil {
+		t.Fatal("trained model has no scratch pool")
+	}
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 500; trial++ {
+		s := randSets(rng, 3, 2, 5)
+		if got, want := m.Predict(s), m.PredictReference(s); got != want {
+			t.Fatalf("trial %d: pooled %v != reference %v", trial, got, want)
+		}
+	}
+	dst := make([]float64, len(samples))
+	m.PredictInto(dst, samples)
+	for i, s := range samples {
+		if dst[i] != m.PredictReference(s) {
+			t.Fatalf("row %d: PredictInto mismatch", i)
+		}
+	}
+}
+
+// TestHandBuiltModelFallsBack: models assembled without training (no pool)
+// keep predicting through the reference path; the gradient sanity check
+// depends on this.
+func TestHandBuiltModelFallsBack(t *testing.T) {
+	if rel, err := SanityCheckGradients(7); err != nil || rel > 1e-4 {
+		t.Fatalf("gradient check after fast-path change: rel=%v err=%v", rel, err)
+	}
+}
+
+// TestPredictZeroAllocs pins the pooled path's steady-state allocations.
+func TestPredictZeroAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool; allocation counts are only meaningful in normal builds")
+	}
+	m, samples := trainSmallMSCN(t, 61)
+	s := samples[0]
+	if allocs := testing.AllocsPerRun(200, func() {
+		m.Predict(s)
+	}); allocs != 0 {
+		t.Errorf("Predict allocs/op = %v, want 0", allocs)
+	}
+	dst := make([]float64, 32)
+	batch := samples[:32]
+	if allocs := testing.AllocsPerRun(100, func() {
+		m.PredictInto(dst, batch)
+	}); allocs != 0 {
+		t.Errorf("PredictInto allocs/op = %v, want 0", allocs)
+	}
+}

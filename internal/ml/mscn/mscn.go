@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"qfe/internal/ml/mlmath"
 )
@@ -178,6 +179,10 @@ type Model struct {
 	tableMod, joinMod, predMod *setModule
 	out1, out2                 *mlmath.Dense
 	tableDim, joinDim, predDim int
+
+	// pool hands out inference scratch for the fast path (see fast.go);
+	// nil falls back to the allocating reference.
+	pool *sync.Pool
 }
 
 // denseLayers lists every trainable layer in a fixed order; checkpoints
@@ -311,6 +316,7 @@ func TrainCtx(ctx context.Context, samples []*Sets, y []float64, cfg Config, opt
 			}
 		}
 	}
+	m.initFastPath()
 	return m, nil
 }
 
@@ -367,20 +373,21 @@ func (m *Model) backprop(s *Sets, target float64) {
 	m.predMod.backward(pt, dConcat[2*h:3*h])
 }
 
-// Predict returns the network output for one featurized query.
+// Predict returns the network output for one featurized query. Trained
+// models evaluate through pooled scratch buffers (see fast.go),
+// bit-identical to PredictReference without the per-element allocations.
 func (m *Model) Predict(s *Sets) float64 {
+	p := m.pool
+	if p == nil {
+		return m.PredictReference(s)
+	}
 	if err := checkDims(s, m.tableDim, m.joinDim, m.predDim); err != nil {
 		panic("mscn: " + err.Error())
 	}
-	tt := m.tableMod.forward(s.Tables)
-	jt := m.joinMod.forward(s.Joins)
-	pt := m.predMod.forward(s.Preds)
-	concat := make([]float64, 0, 3*m.cfg.HiddenSet)
-	concat = append(concat, tt.pooled...)
-	concat = append(concat, jt.pooled...)
-	concat = append(concat, pt.pooled...)
-	act1 := mlmath.ReLU(m.out1.Forward(concat))
-	return m.out2.Forward(act1)[0]
+	sc := p.Get().(*inferScratch)
+	out := m.predictWith(sc, s)
+	p.Put(sc)
+	return out
 }
 
 // PredictBatch applies Predict to every sample.

@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 	"slices"
+	"sync"
 
 	"qfe/internal/ml/mlmath"
 	"qfe/internal/parallel"
@@ -134,6 +135,10 @@ type Model struct {
 	cfg    Config
 	layers []*mlmath.Dense
 	dim    int
+
+	// pool hands out per-goroutine activation scratch for the inference
+	// fast path (see fast.go); nil falls back to the allocating reference.
+	pool *sync.Pool
 }
 
 // Train fits the network on X (row-major samples) and targets y.
@@ -175,6 +180,7 @@ func TrainCtx(ctx context.Context, X [][]float64, y []float64, cfg Config, opts 
 		prev = h
 	}
 	m.layers = append(m.layers, mlmath.NewDense(prev, 1, rng))
+	m.initFastPath()
 
 	// Train/validation split for early stopping.
 	idx := make([]int, n)
@@ -396,19 +402,26 @@ func (m *Model) backpropInto(x []float64, target float64, sg *shardGrads) {
 	}
 }
 
-// Predict returns the network output for one feature vector.
+func predictDimPanic(got, want int) string {
+	return fmt.Sprintf("nn: input dim %d, model dim %d", got, want)
+}
+
+// Predict returns the network output for one feature vector. Trained or
+// deserialized models evaluate through pooled ping-pong activation buffers
+// (see fast.go), bit-identical to PredictReference without the per-layer
+// allocations.
 func (m *Model) Predict(x []float64) float64 {
 	if len(x) != m.dim {
-		panic(fmt.Sprintf("nn: input dim %d, model dim %d", len(x), m.dim))
+		panic(predictDimPanic(len(x), m.dim))
 	}
-	act := x
-	for li, l := range m.layers {
-		act = l.Forward(act)
-		if li < len(m.layers)-1 {
-			mlmath.ReLU(act)
-		}
+	p := m.pool
+	if p == nil {
+		return m.PredictReference(x)
 	}
-	return act[0]
+	sc := p.Get().(*predictScratch)
+	out := m.predictWith(sc, x)
+	p.Put(sc)
+	return out
 }
 
 // PredictBatch applies Predict to every row, fanning the rows out across

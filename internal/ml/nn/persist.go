@@ -69,5 +69,6 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	m.cfg = s.Cfg
 	m.dim = s.Dim
 	m.layers = layers
+	m.initFastPath()
 	return nil
 }

@@ -112,8 +112,11 @@ func (b *batcher) Do(ctx context.Context, est estimator.Estimator, q *sqlparse.Q
 	}
 }
 
-// DoBatch estimates a client-supplied batch directly through the parallel
-// path, bypassing the coalescing queue (the client already batched).
+// DoBatch estimates a client-supplied batch, bypassing the coalescing queue
+// (the client already batched). Estimators with a compiled batch form
+// (estimator.BatchEstimator) take it — one pooled featurization matrix, one
+// batch predict — and everything else goes through the parallel per-query
+// path.
 func (b *batcher) DoBatch(ctx context.Context, est estimator.Estimator, qs []*sqlparse.Query) []EstResult {
 	out := make([]EstResult, len(qs))
 	if len(qs) == 0 {
@@ -121,6 +124,13 @@ func (b *batcher) DoBatch(ctx context.Context, est estimator.Estimator, qs []*sq
 	}
 	if b.onBatch != nil {
 		b.onBatch(len(qs))
+	}
+	if be, ok := est.(estimator.BatchEstimator); ok {
+		ests, errs := be.EstimateBatch(ctx, qs)
+		for i := range out {
+			out[i] = EstResult{Estimate: ests[i], Err: errs[i]}
+		}
+		return out
 	}
 	parallel.Do(len(qs), parallel.Workers(b.cfg.Workers), func(i int) {
 		out[i] = estimateOne(ctx, est, qs[i])
@@ -215,10 +225,52 @@ func (b *batcher) flush(batch []*estReq) {
 	if b.onBatch != nil {
 		b.onBatch(len(batch))
 	}
+	if b.flushBatched(batch) {
+		return
+	}
 	parallel.Do(len(batch), parallel.Workers(b.cfg.Workers), func(i int) {
 		r := batch[i]
 		r.done <- estimateOne(r.ctx, r.est, r.q)
 	})
+}
+
+// flushBatched answers a coalesced flush through the estimator's compiled
+// batch path when every request targets the same BatchEstimator: one pooled
+// featurization matrix, one batch predict, instead of per-query goroutine
+// fan-out. Returns false to use the per-query parallel path (mixed
+// estimators, or estimators without a batch form — notably resilience
+// chains, whose staged fallbacks are inherently per-query). Requests whose
+// context is already dead are answered with its error before featurizing;
+// the batch itself is fast enough that mid-batch cancellation is handled by
+// Do abandoning the wait, exactly as on the per-query path.
+func (b *batcher) flushBatched(batch []*estReq) bool {
+	be, ok := batch[0].est.(estimator.BatchEstimator)
+	if !ok {
+		return false
+	}
+	for _, r := range batch[1:] {
+		if r.est != batch[0].est {
+			return false
+		}
+	}
+	qs := make([]*sqlparse.Query, 0, len(batch))
+	live := make([]*estReq, 0, len(batch))
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.done <- EstResult{Err: err}
+			continue
+		}
+		qs = append(qs, r.q)
+		live = append(live, r)
+	}
+	if len(qs) == 0 {
+		return true
+	}
+	ests, errs := be.EstimateBatch(context.Background(), qs)
+	for i, r := range live {
+		r.done <- EstResult{Estimate: ests[i], Err: errs[i]}
+	}
+	return true
 }
 
 // estimateOne dispatches one query, preserving the resilience chain's

@@ -1,0 +1,9 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in. Strict
+// allocation-count tests skip under it: race instrumentation defeats
+// sync.Pool's per-P caches, so pooled paths that are allocation-free in
+// normal builds report spurious allocations.
+const RaceEnabled = true
